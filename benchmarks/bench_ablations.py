@@ -1,0 +1,123 @@
+"""Ablations of LFI design choices (DESIGN.md §4).
+
+Beyond the paper's figures, these benches isolate the contribution of the
+individual mechanisms the paper describes:
+
+* one vs two hoisting registers (§4.3: "the second register makes it
+  possible to hoist two sets of redundant guards in the same basic
+  block");
+* the stack-pointer same-basic-block elision (§4.2);
+* the Spectre/side-channel hardening policy (§7.1: disallow LL/SC at
+  verification time) — a functionality knob, checked for cost neutrality
+  on exclusive-free code.
+"""
+
+import pytest
+
+from repro.core import O2, RewriteOptions, rewrite_program
+from repro.arm64 import parse_assembly
+from repro.emulator import APPLE_M1
+from repro.perf import lfi_variant, run_variant
+from repro.workloads import arena_bss_size, build_benchmark
+
+from .conftest import TARGET
+
+INTERLEAVED = """
+ldr x0, [x1]
+ldr x2, [x3, #8]
+str x0, [x1, #8]
+str x2, [x3, #16]
+ldr x4, [x1, #16]
+ldr x5, [x3, #24]
+"""
+
+
+class TestHoistRegisterAblation:
+    def test_two_registers_beat_one_on_interleaved_runs(self):
+        """§4.3's rationale for reserving a second hoisting register."""
+        program = parse_assembly(INTERLEAVED)
+        one = rewrite_program(program.copy(),
+                              O2.with_(hoist_registers=1))
+        two = rewrite_program(program.copy(),
+                              O2.with_(hoist_registers=2))
+        assert two.stats.hoisted_accesses > one.stats.hoisted_accesses
+        assert two.stats.output_instructions < one.stats.output_instructions
+
+    def test_zero_registers_equals_o1(self):
+        from repro.core import O1
+
+        program = parse_assembly(INTERLEAVED)
+        none = rewrite_program(program.copy(), O2.with_(hoist_registers=0))
+        o1 = rewrite_program(program.copy(), O1)
+        assert none.stats.output_instructions == o1.stats.output_instructions
+
+    def test_runtime_effect_on_benchmark(self):
+        name = "519.lbm"  # the most hoisting-sensitive stand-in
+        asm = build_benchmark(name, target_instructions=min(TARGET, 40_000))
+        bss = arena_bss_size(name)
+        cycles = {}
+        for count in (0, 1, 2):
+            variant = lfi_variant(O2.with_(hoist_registers=count),
+                                  f"hoist{count}")
+            cycles[count] = run_variant(asm, bss, variant, APPLE_M1).cycles
+        print(f"\nhoisting ablation on {name}: "
+              + ", ".join(f"{k} regs = {v:.0f}c" for k, v in cycles.items()))
+        assert cycles[2] <= cycles[1] <= cycles[0]
+
+
+class TestSpElisionAblation:
+    def test_elision_saves_instructions(self):
+        src = "sub sp, sp, #64\n str x0, [sp]\n add sp, sp, #64\n ret\n"
+        on = rewrite_program(parse_assembly(src), O2)
+        off = rewrite_program(parse_assembly(src),
+                              O2.with_(sp_block_elision=False))
+        assert on.stats.sp_guards_elided >= 1
+        assert off.stats.sp_guards_elided == 0
+        assert on.stats.output_instructions < off.stats.output_instructions
+
+    def test_stack_heavy_benchmark_cost(self):
+        name = "502.gcc"  # has a stack-heavy component
+        asm = build_benchmark(name, target_instructions=min(TARGET, 40_000))
+        bss = arena_bss_size(name)
+        on = run_variant(asm, bss, lfi_variant(O2, "elide"), APPLE_M1)
+        off = run_variant(
+            asm, bss,
+            lfi_variant(O2.with_(sp_block_elision=False), "noelide"),
+            APPLE_M1,
+        )
+        assert on.cycles <= off.cycles
+
+
+class TestSpectreHardeningAblation:
+    def test_policy_free_on_exclusive_free_code(self):
+        """Disallowing LL/SC costs nothing on code that never uses it."""
+        name = "541.leela"
+        asm = build_benchmark(name, target_instructions=min(TARGET, 40_000))
+        bss = arena_bss_size(name)
+        default = run_variant(asm, bss, lfi_variant(O2, "dflt"), APPLE_M1)
+        hardened = run_variant(
+            asm, bss,
+            lfi_variant(O2.with_(allow_exclusives=False), "hard"),
+            APPLE_M1,
+        )
+        assert hardened.cycles == pytest.approx(default.cycles, rel=1e-9)
+
+    def test_policy_blocks_llsc_programs(self):
+        from repro.core import RewriteError
+
+        src = "ldxr x0, [x1]\n ret\n"
+        with pytest.raises(RewriteError):
+            rewrite_program(parse_assembly(src),
+                            O2.with_(allow_exclusives=False))
+
+
+def test_ablation_benchmark(benchmark):
+    asm = build_benchmark("519.lbm", target_instructions=8000)
+    bss = arena_bss_size("519.lbm")
+    variant = lfi_variant(O2.with_(hoist_registers=1), "hoist1")
+
+    def once():
+        return run_variant(asm, bss, variant, APPLE_M1)
+
+    metrics = benchmark(once)
+    assert metrics.exit_code == 0

@@ -1,0 +1,82 @@
+"""Figure 3: LFI optimization-level overheads on the 14 SPEC stand-ins.
+
+Regenerates both panels (GCP T2A and Apple M1): percent increase over
+native runtime for LFI O0 / O1 / O2 / O2-no-loads, and checks the paper's
+qualitative findings:
+
+* the O0 -> O1 jump is the big one (zero-instruction guards, §6.1);
+* O2 (redundant guard elimination) improves on O1 by a small amount;
+* full isolation lands in single-digit geomean territory (paper: 6.4% M1,
+  7.3% T2A);
+* "no loads" cuts overhead dramatically (paper: ~1%).
+"""
+
+import pytest
+
+from repro.emulator import APPLE_M1, GCP_T2A
+from repro.perf import format_overhead_table, geomean
+from repro.workloads import benchmark_names
+
+from .conftest import LFI_LEVELS, overheads_for, suite_overheads
+
+
+@pytest.mark.parametrize("model", [GCP_T2A, APPLE_M1], ids=lambda m: m.name)
+def test_fig3_overheads(model):
+    table = suite_overheads(benchmark_names(), LFI_LEVELS, model)
+    print()
+    print(format_overhead_table(
+        table,
+        columns=[v.name for v in LFI_LEVELS],
+        title=f"Figure 3 — overhead over native runtime, {model.name}",
+    ))
+
+    means = {
+        v.name: geomean([table[b][v.name] for b in table])
+        for v in LFI_LEVELS
+    }
+    # The optimization-level ordering of §6.1.
+    assert means["LFI O0"] > means["LFI O1"] >= means["LFI O2"]
+    assert means["LFI O2, no loads"] < means["LFI O2"]
+    # The O0->O1 jump is the dominant one.
+    assert (means["LFI O0"] - means["LFI O1"]) > (
+        means["LFI O1"] - means["LFI O2"]
+    )
+    # Full isolation stays in the single-digit band the paper reports.
+    assert 2.0 < means["LFI O2"] < 12.0
+    # Store-only isolation is cheap (paper: around 1%).
+    assert means["LFI O2, no loads"] < 4.0
+    # Every benchmark individually: O0 is never cheaper than O2.
+    for bench, row in table.items():
+        assert row["LFI O0"] >= row["LFI O2"] - 0.5, bench
+
+
+def test_fig3_worst_case_is_search_code():
+    """leela (branchy unhoistable search) is at or near the worst case."""
+    table = suite_overheads(benchmark_names(), LFI_LEVELS, APPLE_M1)
+    o2 = {b: row["LFI O2"] for b, row in table.items()}
+    worst = sorted(o2, key=o2.get, reverse=True)[:4]
+    assert "541.leela" in worst, o2
+
+
+def test_fig3_streaming_fp_is_cheap():
+    """lbm (streaming FP) lands well below the geomean, as in the paper."""
+    table = suite_overheads(benchmark_names(), LFI_LEVELS, APPLE_M1)
+    mean = geomean([row["LFI O2"] for row in table.values()])
+    assert table["519.lbm"]["LFI O2"] < mean + 1.0
+
+
+def test_fig3_representative_run_benchmark(benchmark):
+    """pytest-benchmark hook: time one representative simulation."""
+    from repro.core import O2
+    from repro.perf import lfi_variant, run_variant
+    from repro.workloads import arena_bss_size, build_benchmark
+
+    asm = build_benchmark("541.leela", target_instructions=8000)
+    bss = arena_bss_size("541.leela")
+    variant = lfi_variant(O2, "LFI O2")
+
+    def once():
+        return run_variant(asm, bss, variant, APPLE_M1)
+
+    metrics = benchmark(once)
+    assert metrics.exit_code == 0

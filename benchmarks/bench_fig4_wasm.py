@@ -1,0 +1,74 @@
+"""Figure 4: LFI vs WebAssembly engines on the 7 Wasm-compatible stand-ins.
+
+Regenerates both panels: overhead over native (LTO) for Wasmtime, stock
+Wasm2c, Wasm2c without the compiler barrier, Wasm2c with a pinned heap
+register, WAMR, and LFI — and checks the paper's findings:
+
+* LFI has less than half the overhead of the best Wasm configuration
+  (Table 4: 6.4-7.3% vs ~15-16%);
+* removing the compiler barrier helps Wasm2c a lot, pinning helps more;
+* Wasmtime (Cranelift) trails the LLVM-based engines.
+"""
+
+import pytest
+
+from repro.baselines import WASM_ENGINES
+from repro.core import O2
+from repro.emulator import APPLE_M1, GCP_T2A
+from repro.perf import format_overhead_table, geomean, lfi_variant, wasm_variant
+from repro.workloads import WASM_SUBSET
+
+from .conftest import overheads_for, suite_overheads
+
+VARIANTS = tuple(
+    wasm_variant(WASM_ENGINES[name])
+    for name in ("wasmtime", "wasm2c", "wasm2c-nobarrier", "wasm2c-pinned",
+                 "wamr")
+) + (lfi_variant(O2, "LFI"),)
+
+COLUMNS = [v.name for v in VARIANTS]
+
+
+@pytest.mark.parametrize("model", [GCP_T2A, APPLE_M1], ids=lambda m: m.name)
+def test_fig4_wasm_comparison(model):
+    table = suite_overheads(WASM_SUBSET, VARIANTS, model)
+    print()
+    print(format_overhead_table(
+        table, columns=COLUMNS,
+        title=f"Figure 4 — LFI vs Wasm engines, {model.name}",
+    ))
+
+    means = {
+        c: geomean([table[b][c] for b in table]) for c in COLUMNS
+    }
+    # LFI beats every Wasm engine by at least 2x on geomean (§6.2).
+    for engine in COLUMNS[:-1]:
+        assert means["LFI"] * 2 < means[engine], (engine, means)
+    # Barrier removal and pinning are each an improvement (Table 4).
+    assert means["wasm2c-nobarrier"] < means["wasm2c"]
+    assert means["wasm2c-pinned"] < means["wasm2c-nobarrier"]
+    # Cranelift's weaker codegen shows: Wasmtime is the slowest system.
+    assert means["wasmtime"] == max(means.values())
+
+
+def test_fig4_every_benchmark_lfi_wins():
+    table = suite_overheads(WASM_SUBSET, VARIANTS, APPLE_M1)
+    for bench, row in table.items():
+        for engine in COLUMNS[:-1]:
+            assert row["LFI"] < row[engine], (bench, engine, row)
+
+
+def test_fig4_representative_run_benchmark(benchmark):
+    from repro.baselines import WASM_ENGINES
+    from repro.perf import run_variant, wasm_variant
+    from repro.workloads import arena_bss_size, build_benchmark
+
+    asm = build_benchmark("505.mcf", target_instructions=8000)
+    bss = arena_bss_size("505.mcf")
+    variant = wasm_variant(WASM_ENGINES["wasm2c"])
+
+    def once():
+        return run_variant(asm, bss, variant, APPLE_M1)
+
+    metrics = benchmark(once)
+    assert metrics.exit_code == 0

@@ -1,0 +1,80 @@
+"""Figure 5: LFI vs hardware-assisted virtualization (QEMU/KVM) on M1.
+
+KVM's guest code runs at native CPU speed but every TLB miss walks nested
+page tables, doubling the walk cost (§6.4).  We run the native binaries
+with the walk cost scaled by 2x and compare against LFI O2:
+
+* KVM's overhead concentrates in the TLB-miss-heavy, large-working-set
+  benchmarks (mcf, omnetpp, lbm, xz);
+* cache-resident benchmarks are nearly free under KVM but not under LFI —
+  the two systems' costs come from different places, which is the
+  tradeoff Figure 5 illustrates.
+"""
+
+import pytest
+
+from repro.core import O2
+from repro.emulator import APPLE_M1
+from repro.perf import (
+    format_overhead_table,
+    geomean,
+    kvm_variant,
+    lfi_variant,
+)
+from repro.workloads import SPEC_BENCHMARKS, benchmark_names
+
+from .conftest import suite_overheads
+
+VARIANTS = (kvm_variant("QEMU KVM"), lfi_variant(O2, "LFI"))
+COLUMNS = [v.name for v in VARIANTS]
+
+
+def test_fig5_kvm_vs_lfi():
+    table = suite_overheads(benchmark_names(), VARIANTS, APPLE_M1)
+    print()
+    print(format_overhead_table(
+        table, columns=COLUMNS,
+        title="Figure 5 — LFI vs hardware-assisted virtualization, apple-m1",
+    ))
+
+    kvm = {b: row["QEMU KVM"] for b, row in table.items()}
+    lfi = {b: row["LFI"] for b, row in table.items()}
+
+    # KVM overhead is modest on average (paper: low single digits).
+    assert 0.0 <= geomean(kvm.values()) < 10.0
+    # KVM costs nothing without TLB pressure: its worst benchmarks are
+    # the big-working-set ones.
+    worst_kvm = sorted(kvm, key=kvm.get, reverse=True)[:5]
+    big_ws = {
+        name for name in kvm
+        if SPEC_BENCHMARKS[name].working_set >= 8 * 1024 * 1024
+    }
+    assert set(worst_kvm) & big_ws, worst_kvm
+    # On cache-resident code, KVM beats LFI; the reverse can hold under
+    # TLB pressure — the tradeoff exists in at least one direction.
+    assert any(kvm[b] < lfi[b] for b in kvm)
+
+
+def test_fig5_kvm_overhead_tracks_tlb_pressure():
+    """Doubling the walk cost only matters when walks happen."""
+    table = suite_overheads(benchmark_names(), VARIANTS, APPLE_M1)
+    kvm = {b: row["QEMU KVM"] for b, row in table.items()}
+    small = [kvm[b] for b in kvm
+             if SPEC_BENCHMARKS[b].working_set <= 2 * 1024 * 1024]
+    large = [kvm[b] for b in kvm
+             if SPEC_BENCHMARKS[b].working_set >= 16 * 1024 * 1024]
+    assert geomean(small) <= geomean(large) + 0.5
+
+
+def test_fig5_representative_run_benchmark(benchmark):
+    from repro.perf import run_variant
+    from repro.workloads import arena_bss_size, build_benchmark
+
+    asm = build_benchmark("505.mcf", target_instructions=8000)
+    bss = arena_bss_size("505.mcf")
+
+    def once():
+        return run_variant(asm, bss, VARIANTS[0], APPLE_M1)
+
+    metrics = benchmark(once)
+    assert metrics.exit_code == 0

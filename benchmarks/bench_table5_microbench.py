@@ -1,0 +1,86 @@
+"""Table 5: isolation-domain-switch microbenchmarks.
+
+Paper's measurements for reference (ns):
+
+                 Apple M1              GCP T2A
+    benchmark   LFI   Linux          LFI   Linux   gVisor
+    syscall      22     129           26     160    12019
+    pipe         46    1504           48    2494    22899
+    yield        17       -           18       -        -
+
+LFI rows are *measured* in our runtime on the cycle model; Linux/gVisor
+come from the documented hardware cost models (DESIGN.md §2).
+"""
+
+import math
+
+import pytest
+
+from repro.emulator import APPLE_M1, GCP_T2A
+from repro.perf import (
+    measure_pipe_ns,
+    measure_syscall_ns,
+    measure_yield_ns,
+    run_table5,
+)
+
+PAPER = {
+    "apple-m1": {"syscall": (22, 129), "pipe": (46, 1504), "yield": (17,)},
+    "gcp-t2a": {"syscall": (26, 160), "pipe": (48, 2494), "yield": (18,)},
+}
+
+
+@pytest.mark.parametrize("model", [APPLE_M1, GCP_T2A], ids=lambda m: m.name)
+def test_table5_microbenchmarks(model):
+    rows = run_table5(model)
+    print()
+    print(f"Table 5 — isolation switch latency, {model.name}")
+    print(f"{'benchmark':10s} {'LFI':>9s} {'Linux':>10s} {'gVisor':>11s}")
+    for row in rows.values():
+        linux = f"{row.linux_ns:9.0f}ns" if not math.isnan(row.linux_ns) \
+            else "        -"
+        gvisor = f"{row.gvisor_ns:10.0f}ns" if not math.isnan(row.gvisor_ns) \
+            else "         -"
+        print(f"{row.benchmark:10s} {row.lfi_ns:8.1f}ns {linux} {gvisor}")
+
+    syscall, pipe, yld = rows["syscall"], rows["pipe"], rows["yield"]
+
+    # LFI's syscall beats Linux's by the paper's ~6x factor.
+    assert syscall.lfi_ns * 4 < syscall.linux_ns
+    # The pipe advantage is even larger (paper: >30x).
+    assert pipe.lfi_ns * 20 < pipe.linux_ns
+    # gVisor is orders of magnitude slower still.
+    assert syscall.gvisor_ns > 20 * syscall.linux_ns
+    # The direct yield is the fastest switch of all — and far below the
+    # ~400-cycle hardware-protection IPC floor the paper cites (§6.4).
+    assert yld.lfi_ns < syscall.lfi_ns
+    hardware_ipc_floor_ns = 400 / model.freq_ghz
+    assert yld.lfi_ns < hardware_ipc_floor_ns / 2
+
+    # Absolute values land in the paper's ballpark (same order, within 3x).
+    paper = PAPER[model.name]
+    assert paper["syscall"][0] / 3 < syscall.lfi_ns < paper["syscall"][0] * 3
+    assert paper["pipe"][0] / 3 < pipe.lfi_ns < paper["pipe"][0] * 3
+    assert paper["yield"][0] / 3 < yld.lfi_ns < paper["yield"][0] * 3
+
+
+def test_yield_costs_about_fifty_cycles():
+    """§5.3: the optimized yield costs roughly 50 cycles."""
+    ns = measure_yield_ns(APPLE_M1)
+    cycles = ns * APPLE_M1.freq_ghz
+    assert 25 < cycles < 100, cycles
+
+
+def test_table5_syscall_benchmark(benchmark):
+    result = benchmark(measure_syscall_ns, APPLE_M1, 50)
+    assert result > 0
+
+
+def test_table5_pipe_benchmark(benchmark):
+    result = benchmark(measure_pipe_ns, APPLE_M1, 20)
+    assert result > 0
+
+
+def test_table5_yield_benchmark(benchmark):
+    result = benchmark(measure_yield_ns, APPLE_M1, 50)
+    assert result > 0

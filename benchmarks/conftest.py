@@ -1,0 +1,68 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every table and figure of the paper's evaluation has one file here (see
+DESIGN.md §4).  Each bench (a) regenerates the paper's rows/series and
+prints them, (b) asserts the qualitative *shape* the paper reports, and
+(c) times one representative simulation through pytest-benchmark.
+
+Runs are cached per session so that e.g. Figure 4 and Table 4 share work.
+Scale with ``REPRO_BENCH_TARGET`` (dynamic instructions per run; default
+60000 — larger values amortize cold caches and sharpen the numbers,
+EXPERIMENTS.md was produced with 150000).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Sequence, Tuple
+
+import pytest
+
+from repro.core import O0, O1, O2, O2_NO_LOADS
+from repro.emulator import APPLE_M1, GCP_T2A
+from repro.perf import (
+    Variant,
+    kvm_variant,
+    lfi_variant,
+    measure_benchmark,
+    native_variant,
+    wasm_variant,
+)
+
+TARGET = int(os.environ.get("REPRO_BENCH_TARGET", "60000"))
+
+_CACHE: Dict[Tuple, Dict[str, float]] = {}
+
+
+def overheads_for(name: str, variants: Sequence[Variant], model,
+                  target: int = None) -> Dict[str, float]:
+    """Cached benchmark-vs-variants overhead row."""
+    target = target or TARGET
+    key = (name, tuple(v.name for v in variants), model.name, target)
+    if key not in _CACHE:
+        result = measure_benchmark(
+            name, list(variants), model, target_instructions=target
+        )
+        _CACHE[key] = result["overheads"]
+    return _CACHE[key]
+
+
+def suite_overheads(names, variants, model, target=None):
+    return {
+        name: overheads_for(name, variants, model, target) for name in names
+    }
+
+
+LFI_LEVELS = (
+    lfi_variant(O0, "LFI O0"),
+    lfi_variant(O1, "LFI O1"),
+    lfi_variant(O2, "LFI O2"),
+    lfi_variant(O2_NO_LOADS, "LFI O2, no loads"),
+)
+
+MACHINES = (APPLE_M1, GCP_T2A)
+
+
+@pytest.fixture(scope="session")
+def bench_target():
+    return TARGET

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Attack gallery: what the verifier rejects, and what the guards contain.
+
+Demonstrates the two layers of LFI's security story:
+
+1. the *static verifier* rejects machine code that could escape
+   (paper §5.2's three properties), and
+2. code that passes verification is *dynamically confined*: wild pointers
+   are forced back into the sandbox by the guards, and guard-region /
+   permission traps kill only the offending sandbox.
+
+Run:  python examples/attack_gallery.py
+"""
+
+from repro.core import VerificationError, VerifierPolicy, verify_elf
+from repro.runtime import ProcessState, Runtime, RuntimeCall
+from repro.toolchain import compile_lfi, compile_native
+from repro.workloads.rtlib import prologue, rt_exit, rtcall
+
+REJECTED_ATTACKS = [
+    ("raw out-of-sandbox store", "str x0, [x1]"),
+    ("overwrite the sandbox base", "movz x21, #0"),
+    ("corrupt the guard scratch register", "add x18, x18, #4096"),
+    ("jump through an unguarded register", "br x0"),
+    ("load the link register without re-guarding",
+     "ldr x30, [sp, #8]\n ret"),
+    ("direct system call", "mov x8, #221\n svc #0"),
+    ("walk sp out of the sandbox",
+     "sub sp, sp, #1008\n sub sp, sp, #1008\n str x0, [sp]"),
+    ("sign-extended escape through the guard form",
+     "ldr x0, [x21, w1, sxtw]"),
+    ("scaled escape through the guard form",
+     "ldr x0, [x21, w1, uxtw #3]"),
+]
+
+
+def demo_verifier_rejections():
+    print("== layer 1: the static verifier ==")
+    for title, body in REJECTED_ATTACKS:
+        src = f".text\n.globl _start\n_start:\n {body}\n ret\n"
+        elf = compile_native(src).elf  # malicious toolchain: no rewriter
+        result = verify_elf(elf)
+        status = "REJECTED" if not result.ok else "!! accepted !!"
+        reason = result.violations[0].reason if result.violations else ""
+        print(f"  [{status}] {title}")
+        print(f"      {reason}")
+        assert not result.ok
+
+
+def demo_wild_pointer_confinement():
+    print("\n== layer 2: guards confine verified code ==")
+    runtime = Runtime()
+
+    # An honest sandbox holding a secret.
+    victim_src = prologue() + """
+    adrp x1, secret
+    add x1, x1, :lo12:secret
+    movz x2, #0x5ec7
+    str x2, [x1]
+    mov x0, #0
+""" + rt_exit() + """
+.data
+.balign 8
+secret: .quad 0
+"""
+    victim = runtime.spawn(compile_lfi(victim_src).elf)
+    runtime.run_until_exit(victim)
+
+    # A verified-but-hostile sandbox forging the victim's address.  The
+    # guard replaces the top 32 bits with its own base: it reads itself.
+    attacker_src = prologue() + f"""
+    adrp x1, secret
+    add x1, x1, :lo12:secret
+    movz x2, #{victim.layout.slot}, lsl #32
+    orr x1, x1, x2             // absolute address inside the *victim*
+    add x18, x21, w1, uxtw     // the guard
+    ldr x0, [x18]
+    and x0, x0, #0xffff
+""" + rt_exit() + """
+.data
+.balign 8
+secret: .quad 0
+"""
+    attacker = runtime.spawn(compile_native(attacker_src).elf, verify=True)
+    stolen = runtime.run_until_exit(attacker)
+    print(f"  victim secret:  0x5ec7 at "
+          f"{victim.layout.base:#x}+data")
+    print(f"  attacker read:  {stolen:#x}  "
+          f"({'SECRET LEAKED!' if stolen == 0x5EC7 else 'own (zero) memory'})")
+    assert stolen != 0x5EC7
+
+
+def demo_trap_containment():
+    print("\n== layer 3: traps kill only the offender ==")
+    runtime = Runtime()
+    good_src = prologue() + "    mov x0, #42\n" + rt_exit()
+    good = runtime.spawn(compile_lfi(good_src).elf)
+
+    # Verified code that drifts sp into a guard region: the next access
+    # traps (this is exactly why the sp elision of §4.2 is safe).
+    evil_src = prologue() + """
+spin:
+    sub sp, sp, #1008
+    ldr x0, [sp]
+    b spin
+"""
+    evil = runtime.spawn(compile_lfi(evil_src).elf)
+    runtime.run()
+    print(f"  honest sandbox exit code: {good.exit_code}")
+    print(f"  evil sandbox: {evil.state} "
+          f"(fault: {runtime.faults[0].kind} at "
+          f"{runtime.faults[0].pc:#x})")
+    assert good.exit_code == 42
+    assert evil.state == ProcessState.ZOMBIE
+
+
+def main():
+    demo_verifier_rejections()
+    demo_wild_pointer_confinement()
+    demo_trap_containment()
+    print("\nAll attacks contained.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""fork() without page tables: the paper's single-address-space fork (§5.3).
+
+Because every memory access goes through a guard that resets the top 32
+bits of the pointer, sandbox pointers are really 32-bit offsets into
+*whichever* 4GiB slot the process occupies.  The runtime can therefore
+implement fork by copying the image to a new slot: stored pointers carry
+stale top bits, but the guards rebase them on every access.
+
+This example builds a linked list in the parent, forks, and has the child
+walk the list — through pointers that literally point into the *parent's*
+slot — summing the payloads correctly.
+
+Run:  python examples/fork_in_one_address_space.py
+"""
+
+from repro.runtime import Runtime, RuntimeCall
+from repro.toolchain import compile_lfi
+from repro.workloads.rtlib import prologue, rt_exit, rtcall
+
+PROGRAM = prologue() + """
+    // Build a 5-node linked list: node[i] = {next, payload=i+1}
+    adrp x19, nodes
+    add x19, x19, :lo12:nodes
+    mov x2, #0
+build:
+    lsl x3, x2, #4
+    add x3, x19, x3            // &node[i]
+    add x4, x3, #16            // &node[i+1] (absolute: parent's slot!)
+    str x4, [x3]
+    add x5, x2, #1
+    str x5, [x3, #8]
+    add x2, x2, #1
+    cmp x2, #5
+    b.ne build
+    str xzr, [x3]              // terminate the list
+
+""" + rtcall(RuntimeCall.FORK) + """
+    cbnz x0, parent
+
+    // ----- child: walk the list through the stale parent pointers -----
+    adrp x1, nodes
+    add x1, x1, :lo12:nodes
+    mov x2, #0
+walk:
+    ldr x3, [x1, #8]           // payload
+    add x2, x2, x3
+    ldr x1, [x1]               // next (top 32 bits: the PARENT's base!)
+    cbnz x1, walk              // the guard rebases it on each access
+    mov x0, x2                 // 1+2+3+4+5 = 15
+""" + rt_exit() + """
+
+parent:
+    adrp x1, status
+    add x1, x1, :lo12:status
+    mov x0, x1
+""" + rtcall(RuntimeCall.WAIT) + """
+    adrp x1, status
+    add x1, x1, :lo12:status
+    ldr w0, [x1]               // child's exit status
+""" + rt_exit() + """
+.data
+.balign 16
+nodes:  .skip 96
+status: .skip 8
+"""
+
+
+def main():
+    runtime = Runtime()
+    parent = runtime.spawn(compile_lfi(PROGRAM).elf)
+    runtime.run()
+
+    child = next(
+        (p for p in runtime.processes.values() if p.parent == parent.pid),
+        None,
+    )
+    print("== single-address-space fork ==")
+    print(f"  parent slot: {parent.layout.slot} "
+          f"(base {parent.layout.base:#x})")
+    if child is not None:
+        print(f"  child slot:  {child.layout.slot} "
+              f"(base {child.layout.base:#x}) — a fresh 4GiB region")
+    print(f"  child walked the list through pointers aimed at the "
+          f"parent's slot")
+    print(f"  parent exit code (child's list sum): {parent.exit_code} "
+          f"(expected 15)")
+    assert parent.exit_code == 15
+
+
+if __name__ == "__main__":
+    main()

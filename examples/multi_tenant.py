@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Multi-tenant serving: many sandboxes, one address space, fast switches.
+
+The paper's motivating scenario (§1): cloud platforms running thousands of
+short-lived untrusted programs need cheap isolation-domain switches.  This
+example:
+
+* spawns a batch of tenant sandboxes in one 48-bit address space
+  (the scheme supports ~65,000 slots; we use a few dozen);
+* runs them under preemptive scheduling (instruction-fuel timeslices
+  standing in for ``setitimer`` alarms, §5.3);
+* demonstrates the ~50-cycle direct-invoke ``yield`` between two
+  cooperating sandboxes — microkernel-style IPC without hardware context
+  switches;
+* shows per-tenant filesystem policy (a denied directory).
+
+Run:  python examples/multi_tenant.py
+"""
+
+from repro.emulator import APPLE_M1
+from repro.memory import MAX_SANDBOXES_48BIT
+from repro.runtime import Runtime, RuntimeCall
+from repro.toolchain import compile_lfi
+from repro.workloads.rtlib import prologue, rt_exit, rtcall
+
+
+def tenant_source(tenant_id: int) -> str:
+    """Each tenant computes something and reports via its exit code."""
+    return prologue() + f"""
+    movz x19, #{tenant_id}
+    mov x1, #0
+    movz x2, #5000
+work:
+    add x1, x1, x19
+    subs x2, x2, #1
+    b.ne work
+""" + rtcall(RuntimeCall.YIELD) + """
+    and x0, x19, #0xff
+""" + rt_exit()
+
+
+def batch_demo():
+    print("== batch of tenants, one address space ==")
+    runtime = Runtime(model=APPLE_M1, timeslice=2_000)
+    tenants = [
+        runtime.spawn(compile_lfi(tenant_source(i)).elf)
+        for i in range(32)
+    ]
+    runtime.run()
+    codes = [t.exit_code for t in tenants]
+    print(f"  {len(tenants)} sandboxes finished "
+          f"(address space supports {MAX_SANDBOXES_48BIT} slots)")
+    print(f"  exit codes: {codes[:8]}... all correct: "
+          f"{codes == list(range(32))}")
+    switched = sum(1 for t in tenants if t.instructions > 2_000)
+    print(f"  preemption interleaved {switched} tenants across timeslices")
+
+
+def ipc_demo():
+    print("\n== direct-invoke yield: microkernel-style IPC (§5.3) ==")
+    runtime = Runtime(model=APPLE_M1)
+
+    def pinger(other: int, rounds: int) -> str:
+        return prologue() + f"""
+    movz x27, #{rounds}
+ping:
+    mov x0, #{other}
+""" + rtcall(RuntimeCall.YIELD_TO) + """
+    subs x27, x27, #1
+    b.ne ping
+    mov x0, #0
+""" + rt_exit()
+
+    rounds = 300
+    a = runtime.spawn(compile_lfi(pinger(2, rounds)).elf)
+    b = runtime.spawn(compile_lfi(pinger(1, rounds)).elf)
+    runtime.run()
+    per_switch = runtime.cycles / (2 * rounds)
+    print(f"  {2 * rounds} cross-sandbox calls, "
+          f"{per_switch:.0f} cycles each "
+          f"({per_switch / APPLE_M1.freq_ghz:.1f}ns at "
+          f"{APPLE_M1.freq_ghz}GHz)")
+    print("  (paper: ~50 cycles / 17ns; hardware-protection IPC floor: "
+          "~400 cycles)")
+
+
+def policy_demo():
+    print("\n== per-runtime filesystem policy ==")
+    runtime = Runtime()
+    runtime.vfs.mkdir("/public")
+    runtime.vfs.mkdir("/private")
+    runtime.vfs.write_file("/public/data", b"ok")
+    runtime.vfs.write_file("/private/key", b"secret")
+    runtime.vfs.deny("/private")
+
+    snoop = prologue() + """
+    adrp x0, path
+    add x0, x0, :lo12:path
+    mov x1, #0
+""" + rtcall(RuntimeCall.OPEN) + """
+    neg x0, x0
+""" + rt_exit() + """
+.rodata
+path: .asciz "/private/key"
+"""
+    proc = runtime.spawn(compile_lfi(snoop).elf)
+    errno_value = runtime.run_until_exit(proc)
+    print(f"  open('/private/key') from a sandbox -> errno {errno_value} "
+          f"(EACCES=13): {'denied' if errno_value == 13 else 'LEAKED'}")
+
+
+def main():
+    batch_demo()
+    ipc_demo()
+    policy_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Reproduction of "Lightweight Fault Isolation" (Yedidia, ASPLOS 2024).
+
+The most common entry points, re-exported for convenience::
+
+    from repro import compile_lfi, Runtime, O2, verify_elf
+
+    out = compile_lfi(asm_text, options=O2)   # rewrite -> assemble -> ELF
+    verify_elf(out.elf).raise_if_failed()     # the trusted linear pass
+    runtime = Runtime()
+    proc = runtime.spawn(out.elf)             # load into a 4GiB slot
+    runtime.run_until_exit(proc)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and substitution map, and EXPERIMENTS.md for paper-vs-measured
+results.
+"""
+
+from .core import (
+    O0,
+    O1,
+    O2,
+    O2_NO_LOADS,
+    RewriteOptions,
+    VerificationError,
+    Verifier,
+    VerifierPolicy,
+    rewrite_assembly,
+    rewrite_program,
+    verify_elf,
+    verify_text,
+)
+from .runtime import Runtime, RuntimeCall
+from .toolchain import CompileOutput, compile_lfi, compile_native
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "O0",
+    "O1",
+    "O2",
+    "O2_NO_LOADS",
+    "RewriteOptions",
+    "VerificationError",
+    "Verifier",
+    "VerifierPolicy",
+    "rewrite_assembly",
+    "rewrite_program",
+    "verify_elf",
+    "verify_text",
+    "Runtime",
+    "RuntimeCall",
+    "CompileOutput",
+    "compile_lfi",
+    "compile_native",
+    "__version__",
+]

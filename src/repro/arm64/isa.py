@@ -1,0 +1,154 @@
+"""ISA metadata: mnemonic classification used across the system.
+
+This module plays the role of the paper's auto-generated "instruction
+definitions" (paper §5.2): for each supported mnemonic it records whether
+the instruction loads, stores, branches, or is a system instruction, which
+the verifier, rewriter, and emulator all consult.  The verifier's allowlist
+of safe ARMv8.0 instructions is derived from these sets.
+"""
+
+from __future__ import annotations
+
+from .operands import CONDITION_CODES
+
+# --------------------------------------------------------------------------
+# Data-processing
+# --------------------------------------------------------------------------
+
+ALU_BASIC = frozenset({
+    "add", "adds", "sub", "subs",
+    "and", "ands", "orr", "orn", "eor", "eon", "bic", "bics",
+})
+ALU_ALIASES = frozenset({"neg", "negs", "mvn", "mov", "cmp", "cmn", "tst"})
+SHIFTS = frozenset({"lsl", "lsr", "asr", "ror"})
+BITFIELD = frozenset({
+    "ubfm", "sbfm", "bfm", "ubfx", "sbfx", "bfi", "bfxil",
+    "sxtb", "sxth", "sxtw", "uxtb", "uxth",
+})
+MULDIV = frozenset({
+    "mul", "madd", "msub", "mneg", "smull", "umull", "smulh", "umulh",
+    "sdiv", "udiv",
+})
+CONDOPS = frozenset({
+    "csel", "csinc", "csinv", "csneg", "cset", "csetm", "cinc", "cneg",
+    "ccmp", "ccmn",
+})
+WIDE_MOVES = frozenset({"movz", "movn", "movk"})
+ADDRESS = frozenset({"adr", "adrp"})
+MISC_ALU = frozenset({"clz", "rbit", "rev", "rev16", "rev32"})
+
+DATA_PROCESSING = (
+    ALU_BASIC | ALU_ALIASES | SHIFTS | BITFIELD | MULDIV | CONDOPS
+    | WIDE_MOVES | ADDRESS | MISC_ALU
+)
+
+#: Data-processing mnemonics that only set flags and write no register.
+FLAG_ONLY = frozenset({"cmp", "cmn", "tst", "ccmp", "ccmn", "fcmp", "fcmpe"})
+
+# --------------------------------------------------------------------------
+# Memory
+# --------------------------------------------------------------------------
+
+LOADS = frozenset({
+    "ldr", "ldrb", "ldrh", "ldrsb", "ldrsh", "ldrsw", "ldur",
+    "ldp", "ldxr", "ldaxr", "ldar",
+})
+STORES = frozenset({
+    "str", "strb", "strh", "stur", "stp", "stxr", "stlxr", "stlr",
+})
+MEMORY = LOADS | STORES
+
+PAIR_MEMORY = frozenset({"ldp", "stp"})
+EXCLUSIVE_MEMORY = frozenset({"ldxr", "ldaxr", "stxr", "stlxr"})
+ACQUIRE_RELEASE = frozenset({"ldar", "stlr", "ldaxr", "stlxr"})
+#: Atomic/ordered memory ops only support the plain ``[xN]`` addressing mode.
+BASE_ONLY_MEMORY = EXCLUSIVE_MEMORY | frozenset({"ldar", "stlr"})
+UNSCALED_MEMORY = frozenset({"ldur", "stur"})
+
+#: Basic loads/stores that support the full Table-1 addressing-mode set,
+#: including the guard-form ``[x21, wN, uxtw]`` register-offset mode.
+FULL_ADDRESSING = frozenset({
+    "ldr", "ldrb", "ldrh", "ldrsb", "ldrsh", "ldrsw", "str", "strb", "strh",
+})
+
+# --------------------------------------------------------------------------
+# Branches
+# --------------------------------------------------------------------------
+
+CONDITIONAL_BRANCHES = frozenset({f"b.{c}" for c in CONDITION_CODES} | {
+    "b.hs", "b.lo",
+})
+COMPARE_BRANCHES = frozenset({"cbz", "cbnz"})
+TEST_BRANCHES = frozenset({"tbz", "tbnz"})
+DIRECT_BRANCHES = (
+    frozenset({"b", "bl"}) | CONDITIONAL_BRANCHES | COMPARE_BRANCHES
+    | TEST_BRANCHES
+)
+INDIRECT_BRANCHES = frozenset({"br", "blr", "ret"})
+BRANCHES = DIRECT_BRANCHES | INDIRECT_BRANCHES
+CALLS = frozenset({"bl", "blr"})
+
+# --------------------------------------------------------------------------
+# Floating point and SIMD
+# --------------------------------------------------------------------------
+
+FP_ARITH = frozenset({
+    "fadd", "fsub", "fmul", "fdiv", "fneg", "fabs", "fsqrt",
+    "fmax", "fmin", "fmadd", "fmsub", "fnmul",
+})
+FP_MOVE_CMP = frozenset({"fmov", "fcmp", "fcmpe", "fcsel"})
+FP_CONVERT = frozenset({"scvtf", "ucvtf", "fcvtzs", "fcvtzu", "fcvt"})
+FP = FP_ARITH | FP_MOVE_CMP | FP_CONVERT
+#: Vector forms reuse arithmetic mnemonics; ``movi`` is vector-only.
+SIMD_ONLY = frozenset({"movi", "dup"})
+
+# --------------------------------------------------------------------------
+# System
+# --------------------------------------------------------------------------
+
+BARRIERS = frozenset({"dmb", "dsb", "isb"})
+SAFE_SYSTEM = frozenset({"nop", "brk"}) | BARRIERS
+#: Instructions that must never appear inside a sandbox (paper §5.2 rule 3).
+UNSAFE_SYSTEM = frozenset({"svc", "hvc", "smc", "hlt", "mrs", "msr", "eret",
+                           "wfi", "wfe", "dc", "ic", "at", "tlbi"})
+SYSTEM = SAFE_SYSTEM | UNSAFE_SYSTEM
+
+# --------------------------------------------------------------------------
+# Aggregates
+# --------------------------------------------------------------------------
+
+ALL_MNEMONICS = DATA_PROCESSING | MEMORY | BRANCHES | FP | SIMD_ONLY | SYSTEM
+
+#: The premade list of safe ARMv8.0 instructions (paper §5.2, property 3).
+#: Memory and indirect-branch instructions are on the list but additionally
+#: subject to the addressing-mode / reserved-register rules.
+SAFE_MNEMONICS = (
+    DATA_PROCESSING | MEMORY | BRANCHES | FP | SIMD_ONLY | SAFE_SYSTEM
+)
+
+
+def is_load(mnemonic: str) -> bool:
+    return mnemonic in LOADS
+
+
+def is_store(mnemonic: str) -> bool:
+    return mnemonic in STORES
+
+
+def is_memory(mnemonic: str) -> bool:
+    return mnemonic in MEMORY
+
+
+def is_branch(mnemonic: str) -> bool:
+    return mnemonic in BRANCHES
+
+
+def is_indirect_branch(mnemonic: str) -> bool:
+    return mnemonic in INDIRECT_BRANCHES
+
+
+def branch_condition(mnemonic: str) -> str:
+    """The condition suffix of a ``b.cond`` mnemonic."""
+    if not mnemonic.startswith("b."):
+        raise ValueError(f"not a conditional branch: {mnemonic}")
+    return mnemonic[2:]

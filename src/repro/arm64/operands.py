@@ -1,0 +1,211 @@
+"""Operand model for ARM64 instructions.
+
+Operands are the comma-separated items of a GNU-assembly instruction after
+the mnemonic.  A register with a trailing shift or extend modifier (e.g.
+``x2, lsl #3``) is folded into a single :class:`Shifted` / :class:`Extended`
+operand, and a bracketed memory reference becomes a single :class:`Mem`
+operand so the rest of the system can pattern-match on whole addressing
+modes (Table 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .registers import Reg
+
+SHIFT_KINDS = ("lsl", "lsr", "asr", "ror")
+EXTEND_KINDS = ("uxtb", "uxth", "uxtw", "uxtx", "sxtb", "sxth", "sxtw", "sxtx")
+
+#: Condition codes in encoding order (cond field value == list index).
+CONDITION_CODES = (
+    "eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+    "hi", "ls", "ge", "lt", "gt", "le", "al", "nv",
+)
+CONDITION_ALIASES = {"hs": "cs", "lo": "cc"}
+
+
+def canonical_condition(name: str) -> str:
+    """Normalize a condition name, mapping aliases (hs/lo) to cs/cc."""
+    name = name.lower()
+    name = CONDITION_ALIASES.get(name, name)
+    if name not in CONDITION_CODES:
+        raise ValueError(f"unknown condition code: {name!r}")
+    return name
+
+
+def invert_condition(name: str) -> str:
+    """The condition that is true exactly when ``name`` is false."""
+    idx = CONDITION_CODES.index(canonical_condition(name))
+    return CONDITION_CODES[idx ^ 1]
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand (``#42``).  ``reloc`` marks ``:lo12:sym`` uses."""
+
+    value: int
+    reloc: Optional[str] = None  # None | "lo12"
+    symbol: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.reloc:
+            return f":{self.reloc}:{self.symbol}"
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class FloatImm:
+    """A floating-point immediate operand (``#1.5`` in fmov)."""
+
+    value: float
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class Shifted:
+    """A register with a shift modifier: ``x2, lsl #3``."""
+
+    reg: Reg
+    kind: str  # lsl/lsr/asr/ror
+    amount: int
+
+    def __str__(self) -> str:
+        return f"{self.reg}, {self.kind} #{self.amount}"
+
+
+@dataclass(frozen=True)
+class ShiftedImm:
+    """An immediate with an ``lsl`` shift: ``#0x1234, lsl #16`` (movz/movk)."""
+
+    value: int
+    shift: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}, lsl #{self.shift}"
+
+
+@dataclass(frozen=True)
+class Extended:
+    """A register with an extend modifier: ``w2, uxtw #2``.
+
+    ``amount`` is None when no explicit shift was written (plain ``uxtw``).
+    """
+
+    reg: Reg
+    kind: str  # one of EXTEND_KINDS
+    amount: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.amount is None:
+            return f"{self.reg}, {self.kind}"
+        return f"{self.reg}, {self.kind} #{self.amount}"
+
+
+@dataclass(frozen=True)
+class Cond:
+    """A bare condition-code operand (csel/ccmp/cset final operand)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic code or data reference (branch target, adr/adrp page)."""
+
+    name: str
+    addend: int = 0
+
+    def __str__(self) -> str:
+        if self.addend:
+            return f"{self.name}+{self.addend}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class VecReg:
+    """A vector register with an arrangement specifier: ``v0.4s``."""
+
+    reg: Reg  # always the v-view (128-bit)
+    arrangement: str  # 8b, 16b, 4h, 8h, 2s, 4s, 1d, 2d
+
+    def __str__(self) -> str:
+        return f"{self.reg}.{self.arrangement}"
+
+    @property
+    def lane_bits(self) -> int:
+        return {"b": 8, "h": 16, "s": 32, "d": 64}[self.arrangement[-1]]
+
+    @property
+    def lanes(self) -> int:
+        return int(self.arrangement[:-1])
+
+
+# Memory addressing-mode tags (paper Table 1).
+OFFSET = "offset"  # [xN] / [xN, #i] / [xN, xM, lsl #i] / [xN, wM, uxtw #i]
+PRE_INDEX = "pre"  # [xN, #i]!
+POST_INDEX = "post"  # [xN], #i
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand covering all of the paper's Table-1 addressing modes.
+
+    - ``[xN]``                 -> Mem(base=xN)
+    - ``[xN, #i]``             -> Mem(base=xN, offset=Imm(i))
+    - ``[xN, #i]!``            -> Mem(base=xN, offset=Imm(i), mode=PRE_INDEX)
+    - ``[xN], #i``             -> Mem(base=xN, offset=Imm(i), mode=POST_INDEX)
+    - ``[xN, xM, lsl #i]``     -> Mem(base=xN, offset=Shifted(xM, lsl, i))
+    - ``[xN, wM, uxtw #i]``    -> Mem(base=xN, offset=Extended(wM, uxtw, i))
+    - ``[xN, wM, sxtw #i]``    -> Mem(base=xN, offset=Extended(wM, sxtw, i))
+    - ``[xN, xM]``             -> Mem(base=xN, offset=xM)
+    """
+
+    base: Reg
+    offset: Union[Imm, Reg, Shifted, Extended, None] = None
+    mode: str = OFFSET
+
+    def __str__(self) -> str:
+        if self.offset is None:
+            return f"[{self.base}]"
+        if self.mode == POST_INDEX:
+            return f"[{self.base}], {self.offset}"
+        inner = f"[{self.base}, {self.offset}]"
+        if self.mode == PRE_INDEX:
+            inner += "!"
+        return inner
+
+    @property
+    def imm_value(self) -> int:
+        """The immediate displacement, 0 for register-offset/none forms."""
+        if isinstance(self.offset, Imm):
+            return self.offset.value
+        return 0
+
+    @property
+    def has_register_offset(self) -> bool:
+        return isinstance(self.offset, (Reg, Shifted, Extended))
+
+    @property
+    def offset_reg(self) -> Optional[Reg]:
+        """The register used as offset, if any."""
+        if isinstance(self.offset, Reg):
+            return self.offset
+        if isinstance(self.offset, (Shifted, Extended)):
+            return self.offset.reg
+        return None
+
+    @property
+    def writes_back(self) -> bool:
+        return self.mode in (PRE_INDEX, POST_INDEX)
+
+
+Operand = Union[
+    Reg, Imm, FloatImm, Shifted, ShiftedImm, Extended, Cond, Label, VecReg, Mem
+]

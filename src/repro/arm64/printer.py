@@ -1,0 +1,29 @@
+"""Emit a Program back to GNU-syntax assembly text.
+
+``parse_assembly(print_assembly(p))`` is an identity up to whitespace, which
+the test suite checks with Hypothesis round-trip properties.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .instructions import Instruction
+from .program import Directive, Item, LabelDef, Program
+
+__all__ = ["print_assembly", "format_item"]
+
+
+def format_item(item: Item) -> str:
+    if isinstance(item, LabelDef):
+        return f"{item.name}:"
+    if isinstance(item, Directive):
+        return f"\t{item}"
+    if isinstance(item, Instruction):
+        return f"\t{item}"
+    raise TypeError(f"unknown program item: {item!r}")
+
+
+def print_assembly(program: Program) -> str:
+    """Render the program as assembly text (one item per line)."""
+    return "\n".join(format_item(item) for item in program.items) + "\n"

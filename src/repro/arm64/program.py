@@ -1,0 +1,108 @@
+"""Assembly program container: instructions, labels, and directives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from .instructions import Instruction
+
+
+@dataclass(frozen=True)
+class LabelDef:
+    """A label definition line (``foo:``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}:"
+
+
+@dataclass(frozen=True)
+class Directive:
+    """An assembler directive line (``.text``, ``.quad 1, 2``)."""
+
+    name: str  # includes the leading dot
+    args: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name} " + ", ".join(self.args)
+
+
+Item = Union[LabelDef, Directive, Instruction]
+
+#: Directives that emit data, with their element size in bytes.
+DATA_DIRECTIVES = {
+    ".byte": 1,
+    ".hword": 2,
+    ".short": 2,
+    ".word": 4,
+    ".long": 4,
+    ".quad": 8,
+    ".xword": 8,
+}
+
+#: Directives that switch the current section.
+SECTION_DIRECTIVES = (".text", ".data", ".bss", ".rodata", ".section")
+
+
+@dataclass
+class Program:
+    """A parsed (or generated) assembly file."""
+
+    items: List[Item] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def add(self, *items: Item) -> "Program":
+        self.items.extend(items)
+        return self
+
+    def label(self, name: str) -> "Program":
+        return self.add(LabelDef(name))
+
+    def directive(self, name: str, *args: str) -> "Program":
+        return self.add(Directive(name, tuple(args)))
+
+    def instructions(self) -> Iterator[Instruction]:
+        for item in self.items:
+            if isinstance(item, Instruction):
+                yield item
+
+    def text_instructions(self) -> Iterator[Instruction]:
+        """Instructions that fall in .text sections."""
+        for item, section in self.items_with_sections():
+            if isinstance(item, Instruction) and section == ".text":
+                yield item
+
+    def items_with_sections(self) -> Iterator[Tuple[Item, str]]:
+        """Each item paired with the section it belongs to (default .text)."""
+        section = ".text"
+        for item in self.items:
+            if isinstance(item, Directive):
+                if item.name in (".text", ".data", ".bss", ".rodata"):
+                    section = item.name
+                elif item.name == ".section" and item.args:
+                    name = item.args[0]
+                    section = name if name.startswith(".") else f".{name}"
+            yield item, section
+
+    def labels(self) -> Dict[str, int]:
+        """Map label name -> item index of its definition."""
+        return {
+            item.name: i
+            for i, item in enumerate(self.items)
+            if isinstance(item, LabelDef)
+        }
+
+    def instruction_count(self) -> int:
+        return sum(1 for _ in self.instructions())
+
+    def copy(self) -> "Program":
+        return Program(list(self.items))

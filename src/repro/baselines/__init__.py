@@ -1,0 +1,19 @@
+"""Comparison systems: Wasm engine models and hardware isolation models."""
+
+from .hardware import (
+    GVISOR_MODEL,
+    HardwareIsolationModel,
+    LINUX_MODEL,
+    NESTED_WALK_SCALE,
+)
+from .wasm import WASM_ENGINES, WasmEngineModel, wasm_rewrite
+
+__all__ = [
+    "GVISOR_MODEL",
+    "HardwareIsolationModel",
+    "LINUX_MODEL",
+    "NESTED_WALK_SCALE",
+    "WASM_ENGINES",
+    "WasmEngineModel",
+    "wasm_rewrite",
+]

@@ -1,0 +1,84 @@
+"""Hardware-based isolation baselines (paper §6.4).
+
+Two kinds of baseline live here:
+
+* **KVM virtualization** (Figure 5): guest code runs at native speed but
+  every TLB miss walks *nested* page tables, roughly doubling the walk
+  cost.  Modeled by running the native binary with the emulator's TLB walk
+  cost scaled by ``NESTED_WALK_SCALE``.
+
+* **context-switch cost models** (Table 5): Linux hardware protection and
+  gVisor containerization.  LFI's numbers are *measured* in our runtime;
+  Linux and gVisor are reference points computed from a documented cycle
+  decomposition calibrated against the paper's measurements and the
+  microkernel literature it cites ([22, 53]: hardware-protection IPC floor
+  around 400 cycles; Linux context switches cost thousands).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NESTED_WALK_SCALE", "HardwareIsolationModel", "LINUX_MODEL",
+           "GVISOR_MODEL"]
+
+#: Nested paging doubles the translation depth (paper §6.4: "the cost of a
+#: TLB miss is doubled due to the additional pagetable levels").
+NESTED_WALK_SCALE = 2.0
+
+
+@dataclass(frozen=True)
+class HardwareIsolationModel:
+    """Cycle decomposition of syscall/pipe transitions for one system."""
+
+    name: str
+    #: One user->kernel->user privilege round trip.
+    trap_cycles: float
+    #: Kernel-side work of a trivial syscall (entry glue, dispatch, audit).
+    syscall_work_cycles: float
+    #: One full context switch between processes (scheduler + pagetable
+    #: switch + TLB/cache effects).
+    context_switch_cycles: float
+    #: Extra per-transition cost for delegation (gVisor bounces every
+    #: syscall to a supervisor process over its systrap platform).
+    delegation_cycles: float = 0.0
+
+    def syscall_cycles(self) -> float:
+        """A null syscall (getpid)."""
+        return self.trap_cycles + self.syscall_work_cycles \
+            + self.delegation_cycles
+
+    def pipe_roundtrip_cycles(self) -> float:
+        """One hop of the Table-5 pipe ping-pong: a blocking read plus a
+        write, forcing a process switch."""
+        return (2 * self.syscall_cycles()
+                + 2 * self.context_switch_cycles)
+
+    def syscall_ns(self, freq_ghz: float) -> float:
+        return self.syscall_cycles() / freq_ghz
+
+    def pipe_ns(self, freq_ghz: float) -> float:
+        return self.pipe_roundtrip_cycles() / freq_ghz
+
+
+#: Linux with standard hardware protection.  Calibrated to the paper's
+#: measurements: ~129ns syscall and ~1504ns pipe at 3.2GHz (M1), ~160ns
+#: and ~2494ns at 3.0GHz (T2A) — i.e. a ~410-cycle trap+dispatch and a
+#: context switch costing a couple thousand cycles.
+LINUX_MODEL = HardwareIsolationModel(
+    name="linux",
+    trap_cycles=290.0,
+    syscall_work_cycles=123.0,
+    context_switch_cycles=1993.0,
+)
+
+#: gVisor (systrap platform): every syscall is intercepted and serviced by
+#: the sentry in another process, costing multiple context switches
+#: (paper §6.4: "multiple context switches just to handle a system call").
+GVISOR_MODEL = HardwareIsolationModel(
+    name="gvisor",
+    trap_cycles=290.0,
+    syscall_work_cycles=900.0,
+    context_switch_cycles=6500.0,
+    delegation_cycles=35_000.0,
+)

@@ -1,0 +1,61 @@
+"""LFI core: the paper's primary contribution.
+
+* :mod:`repro.core.rewriter` — the untrusted assembly transformer that
+  inserts SFI guards (paper §5.1, §4).
+* :mod:`repro.core.verifier` — the trusted machine-code verifier
+  (paper §5.2).
+* :mod:`repro.core.constants` — reserved registers and invariants (§3).
+"""
+
+from .constants import (
+    ADDRESS_REGS,
+    BASE_REG,
+    HOIST_REGS,
+    LO32_REG,
+    RESERVED_REGS,
+    SCRATCH_REG,
+)
+from .options import O0, O1, O2, O2_NO_LOADS, OPT_LEVELS, RewriteOptions
+from .rewriter import (
+    RewriteError,
+    RewriteResult,
+    RewriteStats,
+    rewrite_assembly,
+    rewrite_program,
+)
+from .verifier import (
+    VerificationError,
+    VerificationResult,
+    Verifier,
+    VerifierPolicy,
+    Violation,
+    verify_elf,
+    verify_text,
+)
+
+__all__ = [
+    "ADDRESS_REGS",
+    "BASE_REG",
+    "HOIST_REGS",
+    "LO32_REG",
+    "RESERVED_REGS",
+    "SCRATCH_REG",
+    "O0",
+    "O1",
+    "O2",
+    "O2_NO_LOADS",
+    "OPT_LEVELS",
+    "RewriteOptions",
+    "RewriteError",
+    "RewriteResult",
+    "RewriteStats",
+    "rewrite_assembly",
+    "rewrite_program",
+    "VerificationError",
+    "VerificationResult",
+    "Verifier",
+    "VerifierPolicy",
+    "Violation",
+    "verify_elf",
+    "verify_text",
+]

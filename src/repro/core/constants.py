@@ -1,0 +1,54 @@
+"""LFI reserved registers and invariants (paper §3).
+
+LFI reserves five general-purpose registers:
+
+* ``x21`` — the sandbox base address (never modified).
+* ``x18`` — always contains a valid sandbox address (the guard scratch).
+* ``x22`` — always contains a 32-bit value (top 32 bits zero).
+* ``x23``, ``x24`` — always contain valid sandbox addresses (hoisting
+  registers for redundant guard elimination, §4.3).
+
+Two special registers carry invariants without being "reserved":
+
+* ``x30`` — always a valid jump target within the sandbox.
+* ``sp`` — always a valid address within the sandbox (or at most one guard
+  region away, pending an access that will trap).
+"""
+
+from __future__ import annotations
+
+from ..arm64.registers import SP, X
+
+#: Sandbox base register (never written inside the sandbox).
+BASE_REG = X[21]
+
+#: Guard scratch: always a valid sandbox address.
+SCRATCH_REG = X[18]
+
+#: Always holds a zero-extended 32-bit value.
+LO32_REG = X[22]
+
+#: Hoisting registers for redundant guard elimination (§4.3).
+HOIST_REGS = (X[23], X[24])
+
+#: All five reserved general-purpose registers.
+RESERVED_REGS = frozenset({BASE_REG, SCRATCH_REG, LO32_REG, *HOIST_REGS})
+RESERVED_INDICES = frozenset(r.index for r in RESERVED_REGS)
+
+#: Registers guaranteed to hold valid sandbox addresses (safe to
+#: dereference or jump through).
+ADDRESS_REGS = frozenset({SCRATCH_REG, *HOIST_REGS})
+ADDRESS_INDICES = frozenset(r.index for r in ADDRESS_REGS)
+
+#: Registers an indirect branch may target: the address registers plus the
+#: link register (x30), whose invariant is maintained separately.
+BRANCH_TARGET_INDICES = ADDRESS_INDICES | {30}
+
+#: Maximum immediate displacement reachable by any supported addressing
+#: mode: imm12 (unsigned, scaled by up to 8/16) tops out at 32760+ bytes and
+#: is covered by the 48KiB guard regions (paper §3).
+MAX_IMM_DISPLACEMENT = 1 << 15
+
+#: Unguarded sp arithmetic is allowed only for immediates below 2**10,
+#: provided a trapping sp access follows in the same basic block (§4.2).
+SP_SMALL_IMM = 1 << 10

@@ -1,0 +1,199 @@
+"""Guard sequence emission: the paper's Table 3 transformations.
+
+Every function returns the replacement instruction list for one unsafe
+memory access or indirect branch.  Two strategies exist:
+
+* the **basic guard** (§3): materialize a safe address in the reserved
+  scratch register with ``add x18, x21, wN, uxtw`` and access through it
+  (used at O0, and at all levels for instructions without access to the
+  guarded addressing mode: pairs, exclusives, acquire/release);
+* the **zero-instruction guard** (§4.1): fold the guard into the access
+  itself with the ``[x21, wN, uxtw]`` addressing mode (O1+), with a single
+  32-bit ``add`` into ``x22`` for the complex addressing modes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..arm64 import isa
+from ..arm64.instructions import Instruction, ins
+from ..arm64.operands import (
+    Extended,
+    Imm,
+    Mem,
+    OFFSET,
+    POST_INDEX,
+    PRE_INDEX,
+    Shifted,
+)
+from ..arm64.registers import Reg, X
+from .constants import BASE_REG, LO32_REG, SCRATCH_REG
+
+__all__ = [
+    "GuardError",
+    "guard_address",
+    "guarded_mem",
+    "x30_guard",
+    "sp_guard_pair",
+    "transform_memory_basic",
+    "transform_memory_guarded",
+    "transform_indirect_branch",
+]
+
+
+class GuardError(ValueError):
+    """Raised when an access cannot be made safe (malformed input)."""
+
+
+def guard_address(source: Reg, dest: Reg = SCRATCH_REG) -> Instruction:
+    """The basic guard: ``add dest, x21, wN, uxtw`` (§3)."""
+    return ins("add", dest, BASE_REG, Extended(source.as_32(), "uxtw"))
+
+
+def guarded_mem(offset_reg: Reg) -> Mem:
+    """The zero-instruction guard addressing mode ``[x21, wN, uxtw]``."""
+    return Mem(BASE_REG, Extended(offset_reg.as_32(), "uxtw"))
+
+
+def x30_guard() -> Instruction:
+    """Re-establish the link-register invariant after a restore (§4.2)."""
+    return ins("add", X[30], BASE_REG, Extended(X[30].as_32(), "uxtw"))
+
+
+def sp_guard_pair() -> List[Instruction]:
+    """The two-instruction stack pointer guard (§4.2).
+
+    ``sp`` cannot be an operand of the zero-extending add, so the
+    zero-extension moves into ``x22`` (whose invariant makes the following
+    plain add safe) — saving one cycle over the extended-register add::
+
+        mov w22, wsp
+        add sp, x21, x22
+    """
+    from ..arm64.registers import SP, WSP
+
+    return [
+        ins("mov", LO32_REG.as_32(), WSP),
+        ins("add", SP, BASE_REG, LO32_REG),
+    ]
+
+
+def _with_mem(inst: Instruction, mem: Mem) -> Instruction:
+    """Copy of ``inst`` with its memory operand replaced."""
+    ops = tuple(mem if isinstance(op, Mem) else op for op in inst.operands)
+    return Instruction(inst.mnemonic, ops, inst.line)
+
+
+def _offset_add(base: Reg, offset, dest: Reg = LO32_REG) -> Instruction:
+    """One 32-bit add computing base+offset into w22 (Table 3 rows 2,5-7)."""
+    w_dest = dest.as_32()
+    w_base = base.as_32()
+    if isinstance(offset, Imm):
+        if offset.value < 0:
+            return ins("sub", w_dest, w_base, Imm(-offset.value))
+        return ins("add", w_dest, w_base, offset)
+    if isinstance(offset, Reg):
+        return ins("add", w_dest, w_base, offset.as_32())
+    if isinstance(offset, Shifted):
+        return ins("add", w_dest, w_base,
+                   Shifted(offset.reg.as_32(), offset.kind, offset.amount))
+    if isinstance(offset, Extended):
+        # At 32-bit width, uxtw/sxtw with shift reduce to an lsl of the w
+        # register (addresses are taken mod 2**32 by the guard anyway).
+        return ins("add", w_dest, w_base,
+                   Shifted(offset.reg.as_32(), "lsl", offset.amount or 0))
+    raise GuardError(f"unsupported offset {offset!r}")
+
+
+def transform_memory_guarded(inst: Instruction) -> List[Instruction]:
+    """Table 3: rewrite a basic load/store to use the guarded addressing
+    mode.  Only valid for mnemonics with full addressing-mode support."""
+    mem = inst.mem
+    if mem is None:
+        raise GuardError(f"not a memory instruction: {inst}")
+    base = mem.base
+    assert inst.mnemonic in isa.FULL_ADDRESSING
+
+    if mem.mode == PRE_INDEX:
+        # add xN, xN, #i ; op [x21, wN, uxtw]
+        return [
+            _pre_post_add(base, mem.imm_value),
+            _with_mem(inst, guarded_mem(base)),
+        ]
+    if mem.mode == POST_INDEX:
+        # op [x21, wN, uxtw] ; add xN, xN, #i
+        return [
+            _with_mem(inst, guarded_mem(base)),
+            _pre_post_add(base, mem.imm_value),
+        ]
+    offset = mem.offset
+    if offset is None or (isinstance(offset, Imm) and offset.value == 0):
+        # ldr rt, [xN]  ->  ldr rt, [x21, wN, uxtw]      (0 extra cycles)
+        return [_with_mem(inst, guarded_mem(base))]
+    # All remaining forms: one 32-bit add into w22, then the guarded access.
+    return [
+        _offset_add(base, offset),
+        _with_mem(inst, guarded_mem(LO32_REG)),
+    ]
+
+
+def _pre_post_add(base: Reg, imm: int) -> Instruction:
+    if imm < 0:
+        return ins("sub", base, base, Imm(-imm))
+    return ins("add", base, base, Imm(imm))
+
+
+def transform_memory_basic(inst: Instruction) -> List[Instruction]:
+    """The basic-guard transformation (§3), used at O0 and for pair /
+    exclusive / unscaled instructions at every level.
+
+    Writeback is never performed on the scratch register (its invariant
+    must hold unconditionally), so pre/post-index forms split the base
+    update into a separate add on the original register.
+    """
+    mem = inst.mem
+    if mem is None:
+        raise GuardError(f"not a memory instruction: {inst}")
+    base = mem.base
+
+    if mem.mode == PRE_INDEX:
+        return [
+            _pre_post_add(base, mem.imm_value),
+            guard_address(base),
+            _with_mem(inst, Mem(SCRATCH_REG)),
+        ]
+    if mem.mode == POST_INDEX:
+        return [
+            guard_address(base),
+            _with_mem(inst, Mem(SCRATCH_REG)),
+            _pre_post_add(base, mem.imm_value),
+        ]
+    offset = mem.offset
+    if offset is None:
+        return [guard_address(base), _with_mem(inst, Mem(SCRATCH_REG))]
+    if isinstance(offset, Imm):
+        # Immediates ride along: the guard regions cover them (§3).
+        if inst.mnemonic in isa.BASE_ONLY_MEMORY and offset.value:
+            raise GuardError(f"{inst}: immediate not allowed")
+        return [
+            guard_address(base),
+            _with_mem(inst, Mem(SCRATCH_REG, offset)),
+        ]
+    # Register offsets: fold into w22 first, then guard w22.
+    return [
+        _offset_add(base, offset),
+        guard_address(LO32_REG),
+        _with_mem(inst, Mem(SCRATCH_REG)),
+    ]
+
+
+def transform_indirect_branch(inst: Instruction) -> List[Instruction]:
+    """Guard ``br``/``blr``/``ret`` through the scratch register (§3)."""
+    target = inst.operands[0] if inst.operands else X[30]
+    if not isinstance(target, Reg):
+        raise GuardError(f"bad indirect branch {inst}")
+    return [
+        guard_address(target),
+        ins(inst.mnemonic, SCRATCH_REG),
+    ]

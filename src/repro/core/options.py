@@ -1,0 +1,71 @@
+"""Rewriter configuration: the paper's optimization levels (§6.1).
+
+* **O0** — only the basic two-cycle ``add xA, xB, wC, uxtw`` guard;
+  stack-pointer optimizations stay on (they are part of the base scheme).
+* **O1** — zero-instruction guards: addressing modes are rewritten to use
+  the guarded ``[x21, wN, uxtw]`` form (Table 3).
+* **O2** — adds redundant guard elimination via hoisting registers (§4.3).
+* ``sandbox_loads=False`` — the "no loads" variant: only stores and
+  indirect branches are isolated (write-protection-only fault isolation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["RewriteOptions", "O0", "O1", "O2", "O2_NO_LOADS", "OPT_LEVELS"]
+
+
+@dataclass(frozen=True)
+class RewriteOptions:
+    """Configuration for one rewriter run."""
+
+    #: 0, 1, or 2 (paper §6.1 optimization levels).
+    opt_level: int = 2
+    #: Sandbox loads as well as stores (False = "no loads" variant).
+    sandbox_loads: bool = True
+    #: Reject LL/SC exclusives at rewrite time (Spectre/side-channel
+    #: hardening knob, §7.1: the verifier can simply disallow exploitable
+    #: instructions).
+    allow_exclusives: bool = True
+    #: Elide sp guards when a trapping access follows in the same basic
+    #: block (§4.2).  Exposed for the ablation benchmark.
+    sp_block_elision: bool = True
+    #: Number of hoisting registers for redundant guard elimination
+    #: (paper reserves two, x23 and x24, so two interleaved access runs
+    #: per basic block can both be hoisted — §4.3).  Ablation knob.
+    hoist_registers: int = 2
+
+    def __post_init__(self):
+        if self.opt_level not in (0, 1, 2):
+            raise ValueError(f"bad opt level {self.opt_level}")
+        if not 0 <= self.hoist_registers <= 2:
+            raise ValueError(f"bad hoist register count "
+                             f"{self.hoist_registers}")
+
+    @property
+    def zero_instruction_guards(self) -> bool:
+        return self.opt_level >= 1
+
+    @property
+    def hoisting(self) -> bool:
+        return self.opt_level >= 2
+
+    def with_(self, **kwargs) -> "RewriteOptions":
+        return replace(self, **kwargs)
+
+    @property
+    def label(self) -> str:
+        name = f"O{self.opt_level}"
+        if not self.sandbox_loads:
+            name += ", no loads"
+        return name
+
+
+O0 = RewriteOptions(opt_level=0)
+O1 = RewriteOptions(opt_level=1)
+O2 = RewriteOptions(opt_level=2)
+O2_NO_LOADS = RewriteOptions(opt_level=2, sandbox_loads=False)
+
+#: The four configurations of Figure 3.
+OPT_LEVELS = (O0, O1, O2, O2_NO_LOADS)

@@ -1,0 +1,408 @@
+"""The LFI static verifier (paper §5.2).
+
+A single linear pass over the text segment's *machine code* that enforces:
+
+1. loads, stores, and indirect branches only target reserved registers
+   (guaranteed to hold valid sandbox addresses) or use safe addressing
+   modes;
+2. reserved registers are only modified in invariant-preserving ways
+   (x21 never; x18/x23/x24 only via the ``add xR, x21, wN, uxtw`` guard;
+   x22 only with 32-bit writes; sp and x30 via their dedicated guard
+   patterns);
+3. only instructions from the premade safe-ARMv8.0 allowlist appear —
+   anything the decoder does not recognize is rejected.
+
+The verifier is the trusted half of the system: the rewriter (like the
+compiler that feeds it) is *untrusted*, and nothing here depends on knowing
+how the rewriter works — e.g. hoisted access runs verify with the same two
+rules that verify everything else (§4.3).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..arm64 import isa
+from ..arm64.decoder import decode_word
+from ..arm64.instructions import Instruction
+from ..arm64.operands import Extended, Imm, Mem, OFFSET
+from ..arm64.registers import Reg
+from .constants import (
+    ADDRESS_INDICES,
+    BRANCH_TARGET_INDICES,
+    MAX_IMM_DISPLACEMENT,
+    SP_SMALL_IMM,
+)
+
+__all__ = ["Violation", "VerificationResult", "VerifierPolicy", "Verifier",
+           "verify_text", "verify_elf"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One verification failure."""
+
+    address: int
+    word: int
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.address:#x}: {self.word:#010x}: {self.reason}"
+
+
+@dataclass(frozen=True)
+class VerifierPolicy:
+    """Knobs for the verifier.
+
+    ``allow_exclusives=False`` implements the §7.1 hardening example:
+    LL/SC instructions (usable for timerless side channels) are simply
+    disallowed by the verifier.
+    """
+
+    allow_exclusives: bool = True
+    #: Maximum immediate displacement covered by the guard regions.
+    max_displacement: int = MAX_IMM_DISPLACEMENT
+    #: When False, load addressing is not checked (the paper's "no loads"
+    #: fault-isolation-only mode, §6.1); stores, indirect branches, and all
+    #: register invariants are still enforced.
+    sandbox_loads: bool = True
+
+
+@dataclass
+class VerificationResult:
+    ok: bool
+    violations: List[Violation] = field(default_factory=list)
+    instructions: int = 0
+    bytes_verified: int = 0
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            summary = "; ".join(str(v) for v in self.violations[:5])
+            raise VerificationError(
+                f"{len(self.violations)} violation(s): {summary}"
+            )
+
+
+class VerificationError(Exception):
+    """Raised when a binary fails verification and was required to pass."""
+
+
+def _is_guard(inst: Instruction, dest_index: int) -> bool:
+    """Is this exactly ``add x<dest>, x21, wN, uxtw`` (the §3 guard)?"""
+    if inst.mnemonic != "add" or len(inst.operands) != 3:
+        return False
+    rd, rn, ext = inst.operands
+    if not (isinstance(rd, Reg) and rd.is_gpr and rd.bits == 64
+            and rd.index == dest_index):
+        return False
+    if not (isinstance(rn, Reg) and rn.is_gpr and rn.index == 21
+            and rn.bits == 64):
+        return False
+    return (isinstance(ext, Extended) and ext.kind == "uxtw"
+            and not ext.amount and ext.reg.bits == 32)
+
+
+def _is_sp_guard(inst: Instruction) -> bool:
+    """Is this exactly ``add sp, x21, x22`` (§4.2)?"""
+    if inst.mnemonic != "add" or len(inst.operands) != 3:
+        return False
+    rd, rn, src = inst.operands
+    if not (isinstance(rd, Reg) and rd.is_sp and rd.bits == 64):
+        return False
+    if not (isinstance(rn, Reg) and rn.is_gpr and rn.index == 21):
+        return False
+    if isinstance(src, Reg):
+        return src.index == 22 and src.bits == 64
+    return (isinstance(src, Extended) and src.reg.index == 22
+            and src.reg.bits == 64 and src.kind in ("uxtx", "lsl")
+            and not src.amount)
+
+
+class Verifier:
+    """Stateless linear verifier over a decoded instruction stream."""
+
+    def __init__(self, policy: Optional[VerifierPolicy] = None):
+        self.policy = policy or VerifierPolicy()
+
+    # -- public API ----------------------------------------------------------
+
+    def verify_text(self, data: bytes, base: int = 0) -> VerificationResult:
+        """Verify one text segment (a single linear pass)."""
+        result = VerificationResult(ok=True)
+        if len(data) % 4:
+            result.ok = False
+            result.violations.append(
+                Violation(base + len(data) - len(data) % 4, 0,
+                          "text size not a multiple of 4")
+            )
+        words = [
+            struct.unpack_from("<I", data, off)[0]
+            for off in range(0, len(data) - len(data) % 4, 4)
+        ]
+        decoded = [decode_word(w, base + 4 * i) for i, w in enumerate(words)]
+        for i, inst in enumerate(decoded):
+            address = base + 4 * i
+            word = words[i]
+            if inst is None:
+                self._fail(result, address, word, "undecodable instruction")
+                continue
+            for reason in self._check(inst, decoded, i):
+                self._fail(result, address, word, reason)
+            result.instructions += 1
+        result.bytes_verified = len(words) * 4
+        return result
+
+    def verify_elf(self, image) -> VerificationResult:
+        """Verify every executable segment of an ELF image."""
+        result = VerificationResult(ok=True)
+        for segment in image.segments:
+            if not segment.flags & 0x1:  # PF_X
+                continue
+            part = self.verify_text(bytes(segment.data), segment.vaddr)
+            result.instructions += part.instructions
+            result.bytes_verified += part.bytes_verified
+            result.violations.extend(part.violations)
+            result.ok = result.ok and part.ok
+        return result
+
+    # -- checks ---------------------------------------------------------------
+
+    def _fail(self, result: VerificationResult, address: int, word: int,
+              reason: str) -> None:
+        result.ok = False
+        result.violations.append(Violation(address, word, reason))
+
+    def _check(self, inst: Instruction,
+               stream: Sequence[Optional[Instruction]], i: int):
+        m = inst.mnemonic
+        if m not in isa.SAFE_MNEMONICS:
+            yield f"instruction not on the safe list: {m}"
+            return
+        if not self.policy.allow_exclusives and (
+            m in isa.EXCLUSIVE_MEMORY or m in ("ldar", "stlr")
+        ):
+            yield f"exclusive/ordered instruction disallowed by policy: {m}"
+            return
+        if inst.is_memory:
+            if self.policy.sandbox_loads or not inst.is_load:
+                yield from self._check_memory(inst, stream, i)
+            elif inst.mem is not None and inst.mem.writes_back \
+                    and inst.mem.base.index in ADDRESS_INDICES \
+                    and not inst.mem.base.is_sp and inst.mem.base.is_gpr:
+                yield ("writeback would modify reserved register "
+                       f"{inst.mem.base}")
+            yield from self._check_memory_destinations(inst, stream, i)
+            return
+        if inst.is_indirect_branch:
+            yield from self._check_indirect_branch(inst)
+            return
+        yield from self._check_register_writes(inst, stream, i)
+
+    # Memory addressing safety (rule 1).
+
+    def _check_memory(self, inst: Instruction,
+                      stream: Sequence[Optional[Instruction]], i: int):
+        mem = inst.mem
+        if mem is None:
+            yield "memory instruction without memory operand"
+            return
+        base = mem.base
+        offset = mem.offset
+        imm_ok = offset is None or isinstance(offset, Imm)
+        displacement = abs(mem.imm_value)
+
+        if base.is_sp:
+            if not imm_ok:
+                yield "register-offset addressing from sp"
+            elif displacement >= self.policy.max_displacement:
+                yield f"sp displacement {displacement} exceeds guard region"
+            return
+
+        if base.index in ADDRESS_INDICES and base.bits == 64 and base.is_gpr:
+            if not imm_ok:
+                yield f"register-offset addressing from {base}"
+                return
+            if displacement >= self.policy.max_displacement:
+                yield f"displacement {displacement} exceeds guard region"
+            if mem.writes_back:
+                yield f"writeback would modify reserved register {base}"
+            return
+
+        if base.is_gpr and base.index == 21 and base.bits == 64:
+            # Either the zero-instruction guard form, or a table read.
+            if isinstance(offset, Extended):
+                if (offset.kind == "uxtw" and not offset.amount
+                        and offset.reg.bits == 32):
+                    return  # the guarded addressing mode: always in-sandbox
+                yield (f"unsafe extend {offset.kind}"
+                       f" #{offset.amount or 0} from x21")
+                return
+            if imm_ok:
+                if inst.is_store:
+                    yield "store through x21 (runtime-call table is read-only)"
+                elif mem.writes_back:
+                    yield "writeback would modify x21"
+                elif mem.imm_value < 0:
+                    yield "negative displacement from x21"
+                elif displacement >= self.policy.max_displacement:
+                    yield f"x21 displacement {displacement} out of table"
+                return
+            yield f"unsafe addressing from x21: {mem}"
+            return
+
+        yield f"unguarded base register {base}"
+
+    # Loads must not write reserved registers (rule 2, memory flavour).
+
+    def _check_memory_destinations(self, inst: Instruction,
+                                   stream: Sequence[Optional[Instruction]],
+                                   i: int):
+        mem = inst.mem
+        written: List[Reg] = []
+        if inst.is_load:
+            written.extend(r for r in inst.transfer_regs if not r.is_vector)
+        elif inst.mnemonic in ("stxr", "stlxr"):
+            status = inst.operands[0]
+            if isinstance(status, Reg) and not status.is_vector:
+                written.append(status)
+        for reg in written:
+            idx = reg.index
+            if idx == 21:
+                yield "load writes x21"
+            elif idx in (18, 23, 24):
+                yield f"load writes reserved register x{idx}"
+            elif idx == 22:
+                if reg.bits == 64:
+                    yield "64-bit load writes x22 (32-bit invariant)"
+            elif idx == 30:
+                if reg.bits == 32:
+                    yield "32-bit write to link register"
+                    continue
+                if self._is_runtime_call(inst, stream, i):
+                    continue
+                nxt = stream[i + 1] if i + 1 < len(stream) else None
+                if nxt is None or not _is_guard(nxt, 30):
+                    yield ("load writes x30 without a following "
+                           "link-register guard")
+
+    def _is_runtime_call(self, inst: Instruction,
+                         stream: Sequence[Optional[Instruction]],
+                         i: int) -> bool:
+        """``ldr x30, [x21, #n]`` followed by ``blr x30`` (§4.4)."""
+        mem = inst.mem
+        if inst.mnemonic != "ldr" or mem is None:
+            return False
+        if not (mem.base.is_gpr and mem.base.index == 21):
+            return False
+        if mem.mode != OFFSET or (
+            mem.offset is not None and not isinstance(mem.offset, Imm)
+        ):
+            return False
+        if not 0 <= mem.imm_value < self.policy.max_displacement:
+            return False
+        nxt = stream[i + 1] if i + 1 < len(stream) else None
+        return (nxt is not None and nxt.mnemonic == "blr"
+                and len(nxt.operands) == 1
+                and isinstance(nxt.operands[0], Reg)
+                and nxt.operands[0].index == 30)
+
+    # Indirect branch targets (rule 1, branch flavour).
+
+    def _check_indirect_branch(self, inst: Instruction):
+        target = inst.operands[0] if inst.operands else None
+        if target is None:  # bare ret == ret x30
+            return
+        if not isinstance(target, Reg) or target.is_vector \
+                or target.bits != 64:
+            yield f"malformed indirect branch {inst}"
+            return
+        if target.index not in BRANCH_TARGET_INDICES:
+            yield f"indirect branch through unguarded register {target}"
+
+    # Reserved register writes (rule 2).
+
+    def _check_register_writes(self, inst: Instruction,
+                               stream: Sequence[Optional[Instruction]],
+                               i: int):
+        for reg in inst.defs():
+            if reg.is_vector:
+                continue
+            idx = reg.index
+            if reg.is_sp:
+                yield from self._check_sp_write(inst, stream, i)
+            elif idx == 21:
+                yield "write to x21 (sandbox base)"
+            elif idx in (18, 23, 24):
+                if reg.bits != 64 or not _is_guard(inst, idx):
+                    yield (f"x{idx} modified by something other than the "
+                           f"guard: {inst}")
+            elif idx == 22:
+                if reg.bits != 32:
+                    yield f"64-bit write to x22 breaks its invariant: {inst}"
+            elif idx == 30:
+                if inst.is_call:
+                    continue  # bl/blr write pc+4: always in-sandbox
+                if reg.bits == 64 and _is_guard(inst, 30):
+                    continue
+                # A plain write is tolerated when the very next instruction
+                # re-establishes the invariant (the rewriter's mov-then-
+                # guard pattern) — nothing can execute in between.
+                nxt = stream[i + 1] if i + 1 < len(stream) else None
+                if (reg.bits == 64 and nxt is not None
+                        and _is_guard(nxt, 30)):
+                    continue
+                yield (f"x30 modified by something other than the "
+                       f"guard: {inst}")
+
+    def _check_sp_write(self, inst: Instruction,
+                        stream: Sequence[Optional[Instruction]], i: int):
+        if _is_sp_guard(inst):
+            return
+        m = inst.mnemonic
+        small = False
+        if m in ("add", "sub") and len(inst.operands) == 3:
+            rd, rn, src = inst.operands
+            small = (isinstance(rn, Reg) and rn.is_sp
+                     and isinstance(src, Imm)
+                     and 0 <= src.value < SP_SMALL_IMM)
+        if self._sp_reestablished(stream, i, allow_access=small):
+            return
+        if small:
+            yield ("sp arithmetic without a following sp access in the "
+                   "same basic block")
+        else:
+            yield f"unsafe sp modification: {inst}"
+
+    def _sp_reestablished(self, stream: Sequence[Optional[Instruction]],
+                          i: int, allow_access: bool) -> bool:
+        """Scan forward: the sp invariant is restored if we reach the sp
+        guard (``mov w22, wsp; add sp, x21, x22``) — or, for small drifts,
+        a trapping sp-based memory access — before any branch or other sp
+        modification (the §4.2 same-basic-block rules)."""
+        for nxt in stream[i + 1:]:
+            if nxt is None:
+                return False
+            if _is_sp_guard(nxt):
+                return True
+            mem = nxt.mem
+            if mem is not None and mem.base.is_sp:
+                if allow_access:
+                    return mem.offset is None or isinstance(mem.offset, Imm)
+                return False
+            if any(d.is_sp for d in nxt.defs()):
+                return False
+            if nxt.is_branch:
+                return False
+        return False
+
+
+def verify_text(data: bytes, base: int = 0,
+                policy: Optional[VerifierPolicy] = None) -> VerificationResult:
+    return Verifier(policy).verify_text(data, base)
+
+
+def verify_elf(image, policy: Optional[VerifierPolicy] = None
+               ) -> VerificationResult:
+    return Verifier(policy).verify_elf(image)

@@ -1,0 +1,31 @@
+"""Minimal ELF64 (EM_AARCH64) object format.
+
+The paper's runtime loads verified ELF executables into sandbox slots
+(§5.3).  We implement just enough of ELF64 — the header and program headers
+— to carry text/rodata/data/bss segments with per-segment permissions and an
+entry point, writable and readable without external tooling.
+"""
+
+from .format import (
+    ElfError,
+    ElfImage,
+    ElfSegment,
+    PF_R,
+    PF_W,
+    PF_X,
+    read_elf,
+    write_elf,
+)
+from .builder import build_elf
+
+__all__ = [
+    "ElfError",
+    "ElfImage",
+    "ElfSegment",
+    "PF_R",
+    "PF_W",
+    "PF_X",
+    "read_elf",
+    "write_elf",
+    "build_elf",
+]

@@ -1,0 +1,58 @@
+"""Bridge from the assembler's sections to an ELF image."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arm64.assembler import AssembledImage
+from .format import ElfImage, ElfSegment, PF_R, PF_W, PF_X
+
+__all__ = ["build_elf"]
+
+_SECTION_FLAGS = {
+    ".text": PF_R | PF_X,
+    ".rodata": PF_R,
+    ".data": PF_R | PF_W,
+    ".bss": PF_R | PF_W,
+}
+
+
+def build_elf(image: AssembledImage, bss_size: int = 0) -> ElfImage:
+    """Package assembled sections as an ELF executable.
+
+    ``bss_size`` reserves extra zero-initialized memory after the .bss
+    section (memsz > filesz).
+    """
+    segments = []
+    for name in (".text", ".rodata", ".data", ".bss"):
+        section = image.sections.get(name)
+        if section is None or (not section.data and name != ".bss"):
+            if name == ".bss" and bss_size:
+                base = image.sections.get(".bss")
+                vaddr = base.base if base else _next_free(image)
+                segments.append(
+                    ElfSegment(vaddr=vaddr, data=b"", memsz=bss_size,
+                               flags=PF_R | PF_W)
+                )
+            continue
+        memsz = len(section.data)
+        if name == ".bss":
+            memsz += bss_size
+        if memsz == 0:
+            continue
+        segments.append(
+            ElfSegment(
+                vaddr=section.base,
+                data=bytes(section.data),
+                memsz=memsz,
+                flags=_SECTION_FLAGS[name],
+            )
+        )
+    return ElfImage(entry=image.entry, segments=segments)
+
+
+def _next_free(image: AssembledImage) -> int:
+    end = 0
+    for section in image.sections.values():
+        end = max(end, section.end)
+    return (end + 0x3FFF) & ~0x3FFF

@@ -1,0 +1,141 @@
+"""ELF64 serialization: header + program headers + segment payloads."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["ElfError", "ElfSegment", "ElfImage", "PF_R", "PF_W", "PF_X",
+           "read_elf", "write_elf"]
+
+PF_X = 0x1
+PF_W = 0x2
+PF_R = 0x4
+
+_EI_MAGIC = b"\x7fELF"
+_ELFCLASS64 = 2
+_ELFDATA2LSB = 1
+_EV_CURRENT = 1
+_ET_EXEC = 2
+_EM_AARCH64 = 183
+_PT_LOAD = 1
+
+_EHDR = struct.Struct("<16sHHIQQQIHHHHHH")
+_PHDR = struct.Struct("<IIQQQQQQ")
+
+
+class ElfError(ValueError):
+    """Raised for malformed ELF input."""
+
+
+@dataclass
+class ElfSegment:
+    """One PT_LOAD segment."""
+
+    vaddr: int
+    data: bytes
+    memsz: int  # >= len(data); the excess is zero-filled (bss)
+    flags: int  # PF_R | PF_W | PF_X
+
+    def __post_init__(self):
+        if self.memsz < len(self.data):
+            raise ElfError("memsz smaller than file data")
+
+    @property
+    def filesz(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class ElfImage:
+    """A loadable executable: entry point plus PT_LOAD segments."""
+
+    entry: int
+    segments: List[ElfSegment] = field(default_factory=list)
+
+    def segment_containing(self, vaddr: int) -> ElfSegment:
+        for segment in self.segments:
+            if segment.vaddr <= vaddr < segment.vaddr + segment.memsz:
+                return segment
+        raise ElfError(f"no segment contains {vaddr:#x}")
+
+    @property
+    def text(self) -> ElfSegment:
+        """The (single) executable segment."""
+        executable = [s for s in self.segments if s.flags & PF_X]
+        if len(executable) != 1:
+            raise ElfError(f"expected 1 executable segment, found "
+                           f"{len(executable)}")
+        return executable[0]
+
+
+def write_elf(image: ElfImage) -> bytes:
+    """Serialize an image to ELF64 bytes."""
+    ehsize = _EHDR.size
+    phentsize = _PHDR.size
+    phnum = len(image.segments)
+    header_size = ehsize + phentsize * phnum
+
+    payloads = []
+    offset = header_size
+    for segment in image.segments:
+        # Keep file offset congruent with vaddr modulo a page for realism.
+        payloads.append((offset, segment))
+        offset += segment.filesz
+
+    out = bytearray()
+    ident = _EI_MAGIC + bytes([_ELFCLASS64, _ELFDATA2LSB, _EV_CURRENT]) + bytes(9)
+    out += _EHDR.pack(
+        ident, _ET_EXEC, _EM_AARCH64, _EV_CURRENT, image.entry,
+        ehsize, 0, 0, ehsize, phentsize, phnum, 0, 0, 0,
+    )
+    for file_offset, segment in payloads:
+        out += _PHDR.pack(
+            _PT_LOAD, segment.flags, file_offset, segment.vaddr,
+            segment.vaddr, segment.filesz, segment.memsz, 0x4000,
+        )
+    for file_offset, segment in payloads:
+        assert len(out) == file_offset
+        out += segment.data
+    return bytes(out)
+
+
+def read_elf(data: bytes) -> ElfImage:
+    """Parse ELF64 bytes back into an image."""
+    if len(data) < _EHDR.size:
+        raise ElfError("truncated ELF header")
+    fields = _EHDR.unpack_from(data, 0)
+    ident = fields[0]
+    if ident[:4] != _EI_MAGIC:
+        raise ElfError("bad ELF magic")
+    if ident[4] != _ELFCLASS64 or ident[5] != _ELFDATA2LSB:
+        raise ElfError("not a little-endian ELF64 file")
+    e_type, e_machine = fields[1], fields[2]
+    if e_machine != _EM_AARCH64:
+        raise ElfError(f"unsupported machine {e_machine}")
+    if e_type != _ET_EXEC:
+        raise ElfError(f"unsupported ELF type {e_type}")
+    entry = fields[4]
+    phoff = fields[5]
+    phentsize, phnum = fields[9], fields[10]
+    if phentsize != _PHDR.size:
+        raise ElfError(f"unexpected phentsize {phentsize}")
+
+    segments: List[ElfSegment] = []
+    for i in range(phnum):
+        p = _PHDR.unpack_from(data, phoff + i * phentsize)
+        p_type, p_flags, p_offset, p_vaddr, _p_paddr, p_filesz, p_memsz, _ = p
+        if p_type != _PT_LOAD:
+            continue
+        if p_offset + p_filesz > len(data):
+            raise ElfError("segment payload out of range")
+        segments.append(
+            ElfSegment(
+                vaddr=p_vaddr,
+                data=bytes(data[p_offset:p_offset + p_filesz]),
+                memsz=p_memsz,
+                flags=p_flags,
+            )
+        )
+    return ElfImage(entry=entry, segments=segments)

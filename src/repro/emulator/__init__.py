@@ -1,0 +1,40 @@
+"""ARM64 emulator: CPU state, interpreter, TLB, and cycle cost models.
+
+This is the hardware substitute (DESIGN.md §2): it executes the genuine
+machine code produced by the toolchain, enforces memory permissions via
+:class:`repro.memory.PagedMemory`, and accounts cycles with a dataflow cost
+model calibrated to the microarchitectures the paper evaluates on.
+"""
+
+from .costs import APPLE_M1, GCP_T2A, MACHINE_MODELS, CostModel
+from .cpu import CpuState
+from .machine import (
+    BrkTrap,
+    HltTrap,
+    HostCallTrap,
+    Machine,
+    MemTrap,
+    OutOfFuel,
+    SvcTrap,
+    Trap,
+    UnknownInstructionTrap,
+)
+from .tlb import Tlb
+
+__all__ = [
+    "APPLE_M1",
+    "GCP_T2A",
+    "MACHINE_MODELS",
+    "CostModel",
+    "CpuState",
+    "BrkTrap",
+    "HltTrap",
+    "HostCallTrap",
+    "Machine",
+    "MemTrap",
+    "OutOfFuel",
+    "SvcTrap",
+    "Trap",
+    "UnknownInstructionTrap",
+    "Tlb",
+]

@@ -1,0 +1,129 @@
+"""Architectural CPU state: general registers, sp, pc, NZCV, SIMD&FP file."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..arm64.operands import canonical_condition
+from ..arm64.registers import Reg
+
+__all__ = ["CpuState", "MASK64", "MASK32"]
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+
+class CpuState:
+    """Registers and flags of one hardware thread.
+
+    General registers are stored as unsigned 64-bit Python ints; vector
+    registers as unsigned 128-bit ints.  Register *views* (w vs x, s vs d vs
+    q) are resolved at access time from the :class:`Reg` object.
+    """
+
+    __slots__ = ("regs", "sp", "pc", "n", "z", "c", "v", "vregs",
+                 "exclusive_addr")
+
+    def __init__(self):
+        self.regs: List[int] = [0] * 31
+        self.sp = 0
+        self.pc = 0
+        self.n = 0
+        self.z = 0
+        self.c = 0
+        self.v = 0
+        self.vregs: List[int] = [0] * 32
+        # Exclusive monitor (ldxr/stxr); None when clear.
+        self.exclusive_addr = None
+
+    # -- integer registers ---------------------------------------------------
+
+    def read(self, reg: Reg) -> int:
+        """Read a GPR view; zero register reads as 0, sp reads the SP."""
+        if reg.is_zero:
+            return 0
+        if reg.is_sp:
+            value = self.sp
+        else:
+            value = self.regs[reg.index]
+        if reg.bits == 32:
+            return value & MASK32
+        return value
+
+    def write(self, reg: Reg, value: int) -> None:
+        """Write a GPR view; 32-bit writes zero the top half (ARM64 rule)."""
+        if reg.is_zero:
+            return
+        value &= MASK32 if reg.bits == 32 else MASK64
+        if reg.is_sp:
+            self.sp = value
+        else:
+            self.regs[reg.index] = value
+
+    # -- vector registers ------------------------------------------------------
+
+    def read_v(self, reg: Reg) -> int:
+        value = self.vregs[reg.index]
+        if reg.bits < 128:
+            value &= (1 << reg.bits) - 1
+        return value
+
+    def write_v(self, reg: Reg, value: int) -> None:
+        # Scalar writes zero the rest of the 128-bit register (ARM64 rule).
+        self.vregs[reg.index] = value & ((1 << reg.bits) - 1)
+
+    # -- flags -----------------------------------------------------------------
+
+    def set_nzcv(self, n: int, z: int, c: int, v: int) -> None:
+        self.n, self.z, self.c, self.v = n, z, c, v
+
+    @property
+    def nzcv(self) -> int:
+        return (self.n << 3) | (self.z << 2) | (self.c << 1) | self.v
+
+    @nzcv.setter
+    def nzcv(self, value: int) -> None:
+        self.n = (value >> 3) & 1
+        self.z = (value >> 2) & 1
+        self.c = (value >> 1) & 1
+        self.v = value & 1
+
+    def condition_holds(self, name: str) -> bool:
+        cond = canonical_condition(name)
+        n, z, c, v = self.n, self.z, self.c, self.v
+        base = {
+            "eq": z == 1,
+            "ne": z == 0,
+            "cs": c == 1,
+            "cc": c == 0,
+            "mi": n == 1,
+            "pl": n == 0,
+            "vs": v == 1,
+            "vc": v == 0,
+            "hi": c == 1 and z == 0,
+            "ls": not (c == 1 and z == 0),
+            "ge": n == v,
+            "lt": n != v,
+            "gt": z == 0 and n == v,
+            "le": not (z == 0 and n == v),
+            "al": True,
+            "nv": True,
+        }
+        return base[cond]
+
+    def snapshot(self) -> dict:
+        """A copyable view of the register state (context switches)."""
+        return {
+            "regs": list(self.regs),
+            "sp": self.sp,
+            "pc": self.pc,
+            "nzcv": self.nzcv,
+            "vregs": list(self.vregs),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.regs = list(snap["regs"])
+        self.sp = snap["sp"]
+        self.pc = snap["pc"]
+        self.nzcv = snap["nzcv"]
+        self.vregs = list(snap["vregs"])

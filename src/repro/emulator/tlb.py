@@ -1,0 +1,55 @@
+"""A set-associative TLB model.
+
+Used by the cycle accounting to charge page-walk latency on misses; the
+KVM baseline (paper §6.4, Figure 5) multiplies the walk cost because nested
+page tables double the translation depth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["Tlb"]
+
+
+class Tlb:
+    """LRU set-associative TLB over fixed-size pages."""
+
+    def __init__(self, entries: int = 1024, ways: int = 4,
+                 page_size: int = 16 * 1024):
+        if entries % ways:
+            raise ValueError("entries must be divisible by ways")
+        self.sets = entries // ways
+        self.ways = ways
+        self.page_size = page_size
+        self._sets: List[List[int]] = [[] for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, address: int) -> bool:
+        """True on hit; on miss the translation is filled (LRU evict)."""
+        page = address // self.page_size
+        index = page % self.sets
+        entries = self._sets[index]
+        if page in entries:
+            entries.remove(page)
+            entries.append(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(entries) >= self.ways:
+            entries.pop(0)
+        entries.append(page)
+        return False
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.sets)]
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0

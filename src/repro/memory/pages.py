@@ -1,0 +1,259 @@
+"""Sparse paged virtual memory with R/W/X permissions and faults.
+
+This is the substitute for real MMU-protected memory (see DESIGN.md §2):
+guard regions are genuinely unmapped, the text segment is mapped
+read+execute-only, and any access that violates permissions raises a
+:class:`MemoryFault`, exactly the behaviour the paper's runtime relies on
+for stack-pointer guard elision and write protection of code.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "PERM_R",
+    "PERM_W",
+    "PERM_X",
+    "PERM_RW",
+    "PERM_RX",
+    "MemoryFault",
+    "PagedMemory",
+]
+
+PERM_R = 0b001
+PERM_W = 0b010
+PERM_X = 0b100
+PERM_RW = PERM_R | PERM_W
+PERM_RX = PERM_R | PERM_X
+PERM_NONE = 0
+
+#: Default page size: 16KiB, matching Apple ARM64 machines (paper §3).
+DEFAULT_PAGE_SIZE = 16 * 1024
+
+_FAULT_NAMES = {"unmapped": "unmapped address", "perm": "permission violation",
+                "align": "misaligned access"}
+
+
+class MemoryFault(Exception):
+    """A memory access trap (unmapped page, permission, or alignment)."""
+
+    def __init__(self, kind: str, address: int, access: str,
+                 detail: str = ""):
+        self.kind = kind
+        self.address = address
+        self.access = access  # "read" | "write" | "execute"
+        message = (
+            f"{_FAULT_NAMES.get(kind, kind)} on {access} at {address:#x}"
+        )
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class PagedMemory:
+    """A sparse page-granular address space.
+
+    Pages are materialized lazily on mapping.  All multi-byte accessors are
+    little-endian, matching AArch64.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE,
+                 va_bits: int = 48):
+        if page_size & (page_size - 1):
+            raise ValueError("page size must be a power of two")
+        self.page_size = page_size
+        self.va_bits = va_bits
+        self.va_limit = 1 << va_bits
+        self._pages: Dict[int, bytearray] = {}
+        self._perms: Dict[int, int] = {}
+        #: Pages whose storage is shared and must be copied before a write
+        #: (single-address-space copy-on-write fork, paper §5.3).
+        self._cow: set = set()
+        self.cow_copies = 0
+
+    # -- mapping -----------------------------------------------------------
+
+    def _page_range(self, address: int, size: int) -> range:
+        if address % self.page_size or size % self.page_size:
+            raise ValueError(
+                f"region {address:#x}+{size:#x} not page-aligned"
+            )
+        return range(address // self.page_size,
+                     (address + size) // self.page_size)
+
+    def map_region(self, address: int, size: int, perms: int) -> None:
+        """Map (or re-map) a page-aligned region with the given permissions."""
+        if address < 0 or address + size > self.va_limit:
+            raise ValueError(f"region outside {self.va_bits}-bit VA space")
+        for page in self._page_range(address, size):
+            if page not in self._pages:
+                self._pages[page] = bytearray(self.page_size)
+            self._perms[page] = perms
+
+    def protect(self, address: int, size: int, perms: int) -> None:
+        """Change permissions of an already-mapped region."""
+        for page in self._page_range(address, size):
+            if page not in self._pages:
+                raise ValueError(f"page at {page * self.page_size:#x} not mapped")
+            self._perms[page] = perms
+
+    def unmap(self, address: int, size: int) -> None:
+        for page in self._page_range(address, size):
+            self._pages.pop(page, None)
+            self._perms.pop(page, None)
+            self._cow.discard(page)
+
+    def share_region(self, src: int, dst: int, size: int,
+                     perms: Optional[int] = None) -> None:
+        """Map ``dst`` onto the same storage as ``src``, copy-on-write.
+
+        This is the paper's memfd-style fork optimization (§5.3): the same
+        memory appears at multiple places in the address space, and pages
+        are physically copied only when either side first writes.
+        """
+        src_pages = list(self._page_range(src, size))
+        dst_pages = list(self._page_range(dst, size))
+        for s, d in zip(src_pages, dst_pages):
+            if s not in self._pages:
+                raise ValueError(f"source page {s * self.page_size:#x} "
+                                 f"not mapped")
+            self._pages[d] = self._pages[s]
+            self._perms[d] = self._perms[s] if perms is None else perms
+            self._cow.add(s)
+            self._cow.add(d)
+
+    def _break_cow(self, first_page: int, last_page: int) -> None:
+        for page in range(first_page, last_page + 1):
+            if page in self._cow:
+                self._pages[page] = bytearray(self._pages[page])
+                self._cow.discard(page)
+                self.cow_copies += 1
+
+    def is_mapped(self, address: int) -> bool:
+        return (address // self.page_size) in self._pages
+
+    def perms_at(self, address: int) -> int:
+        return self._perms.get(address // self.page_size, PERM_NONE)
+
+    def mapped_regions(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield (base, size, perms) for maximal contiguous mapped runs."""
+        pages = sorted(self._pages)
+        i = 0
+        while i < len(pages):
+            start = pages[i]
+            perms = self._perms[start]
+            j = i
+            while (
+                j + 1 < len(pages)
+                and pages[j + 1] == pages[j] + 1
+                and self._perms[pages[j + 1]] == perms
+            ):
+                j += 1
+            yield (start * self.page_size, (j - i + 1) * self.page_size, perms)
+            i = j + 1
+
+    # -- access ------------------------------------------------------------
+
+    def _check(self, address: int, size: int, need: int, access: str) -> None:
+        page = address // self.page_size
+        end_page = (address + size - 1) // self.page_size
+        for p in range(page, end_page + 1):
+            perms = self._perms.get(p)
+            if perms is None:
+                raise MemoryFault("unmapped", address, access)
+            if perms & need != need:
+                raise MemoryFault("perm", address, access)
+
+    def read(self, address: int, size: int) -> bytes:
+        self._check(address, size, PERM_R, "read")
+        return self._raw_read(address, size)
+
+    def write(self, address: int, data: bytes) -> None:
+        self._check(address, len(data), PERM_W, "write")
+        if self._cow:
+            self._break_cow(address // self.page_size,
+                            (address + len(data) - 1) // self.page_size)
+        self._raw_write(address, data)
+
+    def fetch(self, address: int) -> int:
+        """Fetch one instruction word (requires execute permission)."""
+        if address % 4:
+            raise MemoryFault("align", address, "execute")
+        self._check(address, 4, PERM_X, "execute")
+        return struct.unpack("<I", self._raw_read(address, 4))[0]
+
+    # Raw accessors skip permission checks (used by the loader/runtime).
+
+    def _raw_read(self, address: int, size: int) -> bytes:
+        ps = self.page_size
+        page, offset = divmod(address, ps)
+        if offset + size <= ps:
+            buf = self._pages.get(page)
+            if buf is None:
+                raise MemoryFault("unmapped", address, "read")
+            return bytes(buf[offset:offset + size])
+        out = bytearray()
+        remaining = size
+        while remaining:
+            buf = self._pages.get(page)
+            if buf is None:
+                raise MemoryFault("unmapped", page * ps, "read")
+            chunk = min(ps - offset, remaining)
+            out.extend(buf[offset:offset + chunk])
+            remaining -= chunk
+            page += 1
+            offset = 0
+        return bytes(out)
+
+    def _raw_write(self, address: int, data: bytes) -> None:
+        ps = self.page_size
+        page, offset = divmod(address, ps)
+        if offset + len(data) <= ps:
+            buf = self._pages.get(page)
+            if buf is None:
+                raise MemoryFault("unmapped", address, "write")
+            buf[offset:offset + len(data)] = data
+            return
+        pos = 0
+        while pos < len(data):
+            buf = self._pages.get(page)
+            if buf is None:
+                raise MemoryFault("unmapped", page * ps, "write")
+            chunk = min(ps - offset, len(data) - pos)
+            buf[offset:offset + chunk] = data[pos:pos + chunk]
+            pos += chunk
+            page += 1
+            offset = 0
+
+    def load_image(self, address: int, data: bytes) -> None:
+        """Write bytes ignoring permissions (loader-only path)."""
+        if self._cow:
+            self._break_cow(address // self.page_size,
+                            (address + len(data) - 1) // self.page_size)
+        self._raw_write(address, data)
+
+    # -- typed helpers -------------------------------------------------------
+
+    def read_u64(self, address: int) -> int:
+        return int.from_bytes(self.read(address, 8), "little")
+
+    def read_u32(self, address: int) -> int:
+        return int.from_bytes(self.read(address, 4), "little")
+
+    def write_u64(self, address: int, value: int) -> None:
+        self.write(address, (value & (2**64 - 1)).to_bytes(8, "little"))
+
+    def write_u32(self, address: int, value: int) -> None:
+        self.write(address, (value & (2**32 - 1)).to_bytes(4, "little"))
+
+    def read_cstring(self, address: int, limit: int = 4096) -> bytes:
+        """Read a NUL-terminated string (for runtime-call arguments)."""
+        out = bytearray()
+        while len(out) < limit:
+            byte = self.read(address + len(out), 1)[0]
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+        raise MemoryFault("perm", address, "read", "unterminated string")

@@ -1,0 +1,95 @@
+"""Rendering of experiment results: the paper's tables and figure series.
+
+Figures are rendered as aligned ASCII tables (one row per benchmark, one
+column per system) plus geometric-mean summary rows — the same rows/series
+the paper's bar charts plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .measure import geomean
+
+__all__ = ["format_overhead_table", "format_geomean_table", "format_bars"]
+
+
+def format_overhead_table(
+    table: Mapping[str, Mapping[str, float]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+    unit: str = "%",
+) -> str:
+    """Render benchmark-by-system overheads with a geomean footer."""
+    benchmarks = sorted(table)
+    if columns is None:
+        seen: List[str] = []
+        for row in table.values():
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    name_width = max([len(b) for b in benchmarks] + [len("geomean"), 9])
+    col_width = max([len(c) for c in columns] + [8])
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * name_width + " | " + " | ".join(
+        f"{c:>{col_width}}" for c in columns
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for bench in benchmarks:
+        row = table[bench]
+        cells = " | ".join(
+            f"{row.get(c, float('nan')):>{col_width - 1}.1f}{unit}"
+            for c in columns
+        )
+        lines.append(f"{bench:<{name_width}} | {cells}")
+    lines.append("-" * len(header))
+    means = {
+        c: geomean([table[b][c] for b in benchmarks if c in table[b]])
+        for c in columns
+    }
+    cells = " | ".join(
+        f"{means[c]:>{col_width - 1}.1f}{unit}" for c in columns
+    )
+    lines.append(f"{'geomean':<{name_width}} | {cells}")
+    return "\n".join(lines)
+
+
+def format_geomean_table(
+    table: Mapping[str, Mapping[str, float]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render just the geomean row per system (the paper's Table 4)."""
+    benchmarks = sorted(table)
+    if columns is None:
+        columns = list(next(iter(table.values())))
+    lines = []
+    if title:
+        lines.append(title)
+    width = max(len(c) for c in columns) + 2
+    for column in columns:
+        mean = geomean([table[b][column] for b in benchmarks
+                        if column in table[b]])
+        lines.append(f"{column:<{width}} {mean:6.1f}%")
+    return "\n".join(lines)
+
+
+def format_bars(values: Mapping[str, float], width: int = 50,
+                unit: str = "%", title: str = "") -> str:
+    """A quick horizontal bar rendering for one series."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not values:
+        return title
+    peak = max(abs(v) for v in values.values()) or 1.0
+    name_width = max(len(k) for k in values)
+    for key, value in values.items():
+        bar = "#" * max(0, int(round(width * abs(value) / peak)))
+        lines.append(f"{key:<{name_width}} {value:7.1f}{unit} {bar}")
+    return "\n".join(lines)

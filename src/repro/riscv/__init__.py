@@ -1,0 +1,37 @@
+"""LFI for RISC-V: a working implementation of the paper's §7.2 design.
+
+The paper sketches how LFI would port to RV64:
+
+* the ``add.uw`` instruction from the **Zba** extension performs the guard
+  (``add.uw rd, rs1, rs2`` computes ``zext32(rs1) + rs2`` — exactly the
+  ARM64 ``add rd, rs2, w(rs1), uxtw``);
+* RISC-V has **no register-register addressing modes**, so every guarded
+  access goes through a reserved address register (the ARM64 O0 shape;
+  the paper notes instruction fusion could recover the difference);
+* compressed (2-byte) instructions break the "every word is an
+  instruction boundary" property, so the port enforces a **minimal
+  alignment constraint**: every jump target is 4-byte aligned, padding or
+  uncompressing instructions as needed.
+
+This subpackage implements that design end to end at the assembly level:
+a parser for a small RV64IC+Zba subset, the guard rewriter, the alignment
+pass, and a verifier enforcing the §5.2 properties plus the alignment
+rule.  (Unlike the ARM64 implementation, there is no machine-code
+encoder — this is the design study the paper describes, validated at the
+instruction-stream level; see DESIGN.md §6.)
+"""
+
+from .isa import COMPRESSED, RvInstruction, parse_riscv, print_riscv
+from .rewriter import RvRewriteError, rewrite_riscv
+from .verifier import RvViolation, verify_riscv
+
+__all__ = [
+    "COMPRESSED",
+    "RvInstruction",
+    "parse_riscv",
+    "print_riscv",
+    "RvRewriteError",
+    "rewrite_riscv",
+    "RvViolation",
+    "verify_riscv",
+]

@@ -1,0 +1,227 @@
+"""A small RV64IC + Zba instruction model and GNU-assembly parser.
+
+Just enough of RISC-V to express the paper's §7.2 port: integer ALU ops,
+loads/stores (``ld rd, imm(rs)`` syntax), branches/jumps, a few compressed
+("c.") forms to exercise the alignment constraint, and ``add.uw`` from Zba
+for the guard.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = ["RvInstruction", "RvLabel", "RvDirective", "RvProgram",
+           "COMPRESSED", "LOADS", "STORES", "BRANCHES", "JUMPS",
+           "parse_riscv", "print_riscv", "reg_number"]
+
+#: ABI register names -> x-number.
+_ABI = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+def reg_number(name: str) -> Optional[int]:
+    """x-number of a register name (``x7``, ``a0``, ``s11``), or None."""
+    name = name.lower()
+    if name in _ABI:
+        return _ABI[name]
+    match = re.fullmatch(r"x(\d+)", name)
+    if match and 0 <= int(match.group(1)) <= 31:
+        return int(match.group(1))
+    return None
+
+
+LOADS = frozenset({"ld", "lw", "lwu", "lh", "lhu", "lb", "lbu", "c.ld",
+                   "c.lw"})
+STORES = frozenset({"sd", "sw", "sh", "sb", "c.sd", "c.sw"})
+BRANCHES = frozenset({"beq", "bne", "blt", "bge", "bltu", "bgeu", "c.beqz",
+                      "c.bnez"})
+JUMPS = frozenset({"jal", "jalr", "j", "jr", "ret", "call", "tail", "c.j",
+                   "c.jr", "c.jalr"})
+#: 2-byte compressed forms (RVC) — the §7.2 alignment problem.
+COMPRESSED = frozenset({m for m in LOADS | STORES | BRANCHES | JUMPS
+                        if m.startswith("c.")} | {"c.addi", "c.mv", "c.add",
+                                                  "c.li", "c.nop"})
+UNSAFE = frozenset({"ecall", "ebreak_unsafe", "csrr", "csrw", "csrrw",
+                    "mret", "sret", "wfi", "fence.i"})
+
+#: Expansion of each compressed mnemonic to its 4-byte equivalent.
+UNCOMPRESSED_FORM = {
+    "c.addi": "addi", "c.mv": "mv", "c.add": "add", "c.li": "li",
+    "c.ld": "ld", "c.sd": "sd", "c.lw": "lw", "c.sw": "sw",
+    "c.beqz": "beqz", "c.bnez": "bnez", "c.j": "j", "c.jr": "jr",
+    "c.jalr": "jalr", "c.nop": "nop",
+}
+
+
+@dataclass
+class RvInstruction:
+    """One instruction: mnemonic + raw operand strings.
+
+    Memory operands keep the RISC-V ``imm(base)`` shape in ``mem``:
+    (offset, base register number).
+    """
+
+    mnemonic: str
+    operands: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return self.mnemonic
+        return f"{self.mnemonic} " + ", ".join(self.operands)
+
+    @property
+    def size(self) -> int:
+        """Encoded size in bytes (2 for compressed forms)."""
+        return 2 if self.mnemonic in COMPRESSED else 4
+
+    @property
+    def is_load(self) -> bool:
+        return self.mnemonic in LOADS
+
+    @property
+    def is_store(self) -> bool:
+        return self.mnemonic in STORES
+
+    @property
+    def is_memory(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        return self.mnemonic in BRANCHES
+
+    @property
+    def is_jump(self) -> bool:
+        return self.mnemonic in JUMPS
+
+    @property
+    def mem(self) -> Optional[Tuple[int, int]]:
+        """(offset, base register) of a memory operand, if present."""
+        for op in self.operands:
+            match = re.fullmatch(r"(-?\d*)\((\w+)\)", op.strip())
+            if match:
+                base = reg_number(match.group(2))
+                if base is None:
+                    return None
+                offset = int(match.group(1)) if match.group(1) else 0
+                return offset, base
+        return None
+
+    def dest(self) -> Optional[int]:
+        """Destination register number for ALU/load forms."""
+        if self.is_store or self.is_branch or not self.operands:
+            return None
+        if self.mnemonic in ("j", "c.j", "ret", "ecall", "nop", "c.nop"):
+            return None
+        if self.mnemonic in ("jal", "call"):
+            return 1  # ra
+        if self.mnemonic in ("jr", "c.jr", "tail"):
+            return None
+        return reg_number(self.operands[0])
+
+    def sources(self) -> List[int]:
+        out = []
+        start = 0 if (self.is_store or self.is_branch) else 1
+        for op in self.operands[start:]:
+            number = reg_number(op.strip())
+            if number is not None:
+                out.append(number)
+        mem = self.mem
+        if mem is not None:
+            out.append(mem[1])
+        return out
+
+    def branch_target(self) -> Optional[str]:
+        if not (self.is_branch or self.is_jump):
+            return None
+        for op in reversed(self.operands):
+            op = op.strip()
+            if reg_number(op) is None and not re.fullmatch(
+                r"-?\d*\(\w+\)", op
+            ) and not re.fullmatch(r"-?\d+", op):
+                return op
+        return None
+
+
+@dataclass(frozen=True)
+class RvLabel:
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}:"
+
+
+@dataclass(frozen=True)
+class RvDirective:
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+Item = Union[RvInstruction, RvLabel, RvDirective]
+
+
+@dataclass
+class RvProgram:
+    items: List[Item] = field(default_factory=list)
+
+    def instructions(self):
+        return [i for i in self.items if isinstance(i, RvInstruction)]
+
+    def label_offsets(self) -> dict:
+        """Byte offset of every label (compressed forms count 2 bytes)."""
+        offsets = {}
+        cursor = 0
+        for item in self.items:
+            if isinstance(item, RvLabel):
+                offsets[item.name] = cursor
+            elif isinstance(item, RvInstruction):
+                cursor += item.size
+        return offsets
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+
+
+def parse_riscv(text: str) -> RvProgram:
+    """Parse RISC-V GNU assembly (labels, directives, instructions)."""
+    program = RvProgram()
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].split("//", 1)[0].strip()
+        while line:
+            match = _LABEL_RE.match(line)
+            if match:
+                program.items.append(RvLabel(match.group(1)))
+                line = line[match.end():].strip()
+                continue
+            if line.startswith("."):
+                program.items.append(RvDirective(line))
+                break
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = tuple(
+                p.strip() for p in parts[1].split(",")
+            ) if len(parts) > 1 else ()
+            program.items.append(RvInstruction(mnemonic, operands))
+            break
+    return program
+
+
+def print_riscv(program: RvProgram) -> str:
+    lines = []
+    for item in program.items:
+        if isinstance(item, RvLabel):
+            lines.append(str(item))
+        else:
+            lines.append(f"\t{item}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,240 @@
+"""The §7.2 RISC-V rewriter: Zba guards + the minimal alignment constraint.
+
+Register assignment (mirroring the ARM64 scheme's roles):
+
+* ``s10`` (x26) — sandbox base, 4GiB-aligned, never modified;
+* ``s11`` (x27) — guard scratch: always a valid sandbox address;
+* ``sp``  (x2)  — always valid (sp-relative immediates ride the guard
+  regions, as on ARM64);
+* ``ra``  (x1)  — always a valid jump target.
+
+The guard is a single Zba instruction::
+
+    add.uw s11, xN, s10        # s11 = zext32(xN) + base
+
+RISC-V has no register-register addressing modes, so every guarded access
+is the two-instruction O0 shape (the paper notes macro-op fusion could
+recover the ARM64 form).  Immediate displacements are 12-bit (±2KiB),
+comfortably inside the 48KiB guard regions.
+
+Compressed instructions are 2 bytes, so a ``jalr`` could otherwise land in
+the middle of a 4-byte instruction.  The port enforces the paper's minimal
+alignment constraint: **every jump target is 4-byte aligned**, achieved by
+uncompressing (or padding with ``c.nop``) so each label lands on a 4-byte
+boundary; indirect jump guards additionally clear the target's low two
+bits.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .isa import (
+    COMPRESSED,
+    RvDirective,
+    RvInstruction,
+    RvLabel,
+    RvProgram,
+    UNCOMPRESSED_FORM,
+    UNSAFE,
+    parse_riscv,
+    print_riscv,
+    reg_number,
+)
+
+__all__ = ["RvRewriteError", "rewrite_riscv", "align_jump_targets",
+           "BASE_REG", "SCRATCH_REG"]
+
+BASE_REG = 26  # s10
+SCRATCH_REG = 27  # s11
+RESERVED = {BASE_REG, SCRATCH_REG}
+RA, SP = 1, 2
+
+#: sp arithmetic below this is elidable when an access follows (§4.2).
+SP_SMALL_IMM = 1 << 10
+
+
+class RvRewriteError(ValueError):
+    pass
+
+
+def _ins(mnemonic: str, *ops: str) -> RvInstruction:
+    return RvInstruction(mnemonic, tuple(ops))
+
+
+def _guard(source_reg: int) -> RvInstruction:
+    return _ins("add.uw", f"x{SCRATCH_REG}", f"x{source_reg}",
+                f"x{BASE_REG}")
+
+
+def _sp_guard() -> RvInstruction:
+    # sp may be an add.uw operand directly on RISC-V: one instruction.
+    return _ins("add.uw", "sp", "sp", f"x{BASE_REG}")
+
+
+def _ra_guard() -> RvInstruction:
+    return _ins("add.uw", "ra", "ra", f"x{BASE_REG}")
+
+
+def rewrite_riscv(text: str) -> str:
+    """Rewrite RISC-V assembly per the §7.2 LFI port design."""
+    program = parse_riscv(text)
+    out = RvProgram()
+
+    items = program.items
+    for index, item in enumerate(items):
+        if not isinstance(item, RvInstruction):
+            out.items.append(item)
+            continue
+        _check_reserved(item)
+        _rewrite_one(item, items, index, out)
+
+    align_jump_targets(out)
+    return print_riscv(out)
+
+
+def _check_reserved(inst: RvInstruction) -> None:
+    if inst.mnemonic in UNSAFE:
+        raise RvRewriteError(f"unsafe instruction in input: {inst}")
+    dest = inst.dest()
+    if dest in RESERVED:
+        raise RvRewriteError(f"input writes reserved register: {inst}")
+    for src in inst.sources():
+        if src in RESERVED:
+            raise RvRewriteError(f"input reads reserved register: {inst}")
+
+
+def _rewrite_one(inst: RvInstruction, items, index, out: RvProgram) -> None:
+    mem = inst.mem
+
+    if inst.is_memory and mem is not None:
+        offset, base = mem
+        if base in (SP, SCRATCH_REG, BASE_REG):
+            out.items.append(_maybe_uncompress(inst))
+        else:
+            # The Zba guard, then the access through the scratch register.
+            out.items.append(_guard(base))
+            rewritten = _replace_mem(inst, offset, SCRATCH_REG)
+            out.items.append(_maybe_uncompress(rewritten))
+        if inst.is_load and inst.dest() == RA:
+            out.items.append(_ra_guard())
+        return
+
+    if inst.mnemonic in ("jalr", "c.jalr", "jr", "c.jr"):
+        target = _jump_target_reg(inst)
+        if target == RA:
+            out.items.append(_maybe_uncompress(inst))
+            return
+        out.items.append(_guard(target))
+        # Clear the low bits: jump targets must be 4-byte aligned (§7.2).
+        out.items.append(_ins("andi", f"x{SCRATCH_REG}",
+                              f"x{SCRATCH_REG}", "-4"))
+        if inst.mnemonic in ("jalr", "c.jalr"):
+            out.items.append(_ins("jalr", "ra", f"0(x{SCRATCH_REG})"))
+        else:
+            out.items.append(_ins("jr", f"x{SCRATCH_REG}"))
+        return
+
+    dest = inst.dest()
+    if dest == SP:
+        small = (
+            inst.mnemonic in ("addi", "c.addi")
+            and reg_number(inst.operands[1]) == SP
+            and abs(int(inst.operands[2])) < SP_SMALL_IMM
+            and _sp_access_follows(items, index)
+        )
+        out.items.append(_maybe_uncompress(inst))
+        if not small:
+            out.items.append(_sp_guard())
+        return
+    if dest == RA and not inst.is_jump:
+        out.items.append(_maybe_uncompress(inst))
+        out.items.append(_ra_guard())
+        return
+
+    out.items.append(inst)
+
+
+def _jump_target_reg(inst: RvInstruction) -> int:
+    for op in inst.operands:
+        op = op.strip()
+        number = reg_number(op)
+        if number is not None and number != RA:
+            return number
+        import re
+
+        match = re.fullmatch(r"(-?\d*)\((\w+)\)", op)
+        if match:
+            return reg_number(match.group(2))
+    number = reg_number(inst.operands[-1]) if inst.operands else None
+    return number if number is not None else RA
+
+
+def _replace_mem(inst: RvInstruction, offset: int,
+                 base: int) -> RvInstruction:
+    mnemonic = UNCOMPRESSED_FORM.get(inst.mnemonic, inst.mnemonic)
+    new_ops = []
+    import re
+
+    for op in inst.operands:
+        if re.fullmatch(r"-?\d*\(\w+\)", op.strip()):
+            new_ops.append(f"{offset}(x{base})")
+        else:
+            new_ops.append(op)
+    return RvInstruction(mnemonic, tuple(new_ops))
+
+
+def _maybe_uncompress(inst: RvInstruction) -> RvInstruction:
+    return inst
+
+
+def _sp_access_follows(items, index) -> bool:
+    for item in items[index + 1:]:
+        if not isinstance(item, RvInstruction):
+            return False
+        mem = item.mem
+        if mem is not None and mem[1] == SP:
+            return True
+        if item.dest() == SP or item.is_branch or item.is_jump:
+            return False
+    return False
+
+
+def align_jump_targets(program: RvProgram) -> int:
+    """Enforce the §7.2 minimal alignment constraint.
+
+    Walk the program keeping a byte cursor; whenever a label would land at
+    a 2-byte offset, uncompress the *preceding* compressed instruction
+    (or insert a ``c.nop``) so the label is 4-byte aligned.  Returns the
+    number of adjustments.
+    """
+    fixes = 0
+    changed = True
+    while changed:
+        changed = False
+        cursor = 0
+        for index, item in enumerate(program.items):
+            if isinstance(item, RvLabel):
+                if cursor % 4:
+                    # Prefer uncompressing the previous instruction.
+                    prev = _previous_instruction(program.items, index)
+                    if prev is not None and prev.mnemonic in COMPRESSED:
+                        prev.mnemonic = UNCOMPRESSED_FORM[prev.mnemonic]
+                    else:
+                        program.items.insert(index, _ins("c.nop"))
+                    fixes += 1
+                    changed = True
+                    break
+            elif isinstance(item, RvInstruction):
+                cursor += item.size
+        # loop until no misaligned labels remain
+    return fixes
+
+
+def _previous_instruction(items, index):
+    for item in reversed(items[:index]):
+        if isinstance(item, RvInstruction):
+            return item
+        if isinstance(item, RvLabel):
+            return None  # don't mutate across another label
+    return None

@@ -1,0 +1,150 @@
+"""Verifier for the RISC-V port: the §5.2 rules plus the §7.2 alignment
+constraint, checked at the instruction-stream level."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .isa import RvInstruction, RvLabel, UNSAFE, parse_riscv, reg_number
+from .rewriter import BASE_REG, RA, RESERVED, SCRATCH_REG, SP, SP_SMALL_IMM
+
+__all__ = ["RvViolation", "verify_riscv"]
+
+_MAX_DISPLACEMENT = 1 << 11  # 12-bit signed immediates: +-2KiB
+
+
+@dataclass(frozen=True)
+class RvViolation:
+    index: int
+    reason: str
+
+    def __str__(self) -> str:
+        return f"instruction {self.index}: {self.reason}"
+
+
+def _is_guard(inst: RvInstruction, dest: int) -> bool:
+    """``add.uw x<dest>, xN, x26`` — the Zba guard."""
+    if inst.mnemonic != "add.uw" or len(inst.operands) != 3:
+        return False
+    d = reg_number(inst.operands[0])
+    base = reg_number(inst.operands[2])
+    return d == dest and base == BASE_REG
+
+
+def _is_sp_guard(inst: RvInstruction) -> bool:
+    if inst.mnemonic != "add.uw" or len(inst.operands) != 3:
+        return False
+    return (reg_number(inst.operands[0]) == SP
+            and reg_number(inst.operands[1]) == SP
+            and reg_number(inst.operands[2]) == BASE_REG)
+
+
+def verify_riscv(text: str) -> List[RvViolation]:
+    """Return the violations of one rewritten RISC-V program (empty = ok)."""
+    program = parse_riscv(text)
+    items = program.items
+    insts = [
+        (i, item) for i, item in enumerate(items)
+        if isinstance(item, RvInstruction)
+    ]
+    violations: List[RvViolation] = []
+
+    def fail(index: int, reason: str) -> None:
+        violations.append(RvViolation(index, reason))
+
+    # Property 4 (the §7.2 addition): jump targets are 4-byte aligned.
+    cursor = 0
+    for item in items:
+        if isinstance(item, RvLabel):
+            if cursor % 4:
+                violations.append(
+                    RvViolation(-1, f"label {item.name} at misaligned "
+                                    f"offset {cursor}")
+                )
+        elif isinstance(item, RvInstruction):
+            cursor += item.size
+
+    for position, (index, inst) in enumerate(insts):
+        nxt = insts[position + 1][1] if position + 1 < len(insts) else None
+        m = inst.mnemonic
+        if m in UNSAFE:
+            fail(index, f"unsafe instruction {m}")
+            continue
+        if inst.is_memory:
+            mem = inst.mem
+            if mem is None:
+                fail(index, "memory instruction without memory operand")
+                continue
+            offset, base = mem
+            if base not in (SCRATCH_REG, SP, BASE_REG):
+                fail(index, f"unguarded base register x{base}")
+            elif abs(offset) >= _MAX_DISPLACEMENT:
+                fail(index, f"displacement {offset} exceeds 12-bit range")
+            if inst.is_load:
+                dest = inst.dest()
+                if dest in RESERVED:
+                    fail(index, f"load writes reserved register x{dest}")
+                elif dest == RA and not (nxt is not None
+                                         and _is_guard(nxt, RA)):
+                    fail(index, "load writes ra without a following guard")
+            continue
+        if m in ("jalr", "jr", "c.jalr", "c.jr"):
+            target = _target_of(inst)
+            if target not in (RA, SCRATCH_REG):
+                fail(index, f"indirect jump through unguarded x{target}")
+            continue
+        dest = inst.dest()
+        if dest == BASE_REG:
+            fail(index, "write to the sandbox base register")
+        elif dest == SCRATCH_REG:
+            if not _is_guard(inst, SCRATCH_REG) and m != "andi":
+                fail(index, f"scratch register modified by {m}")
+            elif m == "andi" and inst.operands[-1].strip() != "-4":
+                fail(index, "scratch register masked with a bad constant")
+        elif dest == SP:
+            if _is_sp_guard(inst):
+                continue
+            small = (
+                m in ("addi", "c.addi")
+                and reg_number(inst.operands[1]) == SP
+                and abs(int(inst.operands[2])) < SP_SMALL_IMM
+            )
+            if not (small and _sp_ok_after(insts, position)):
+                if not (nxt is not None and _is_sp_guard(nxt)):
+                    fail(index, f"unsafe sp modification: {inst}")
+        elif dest == RA and not inst.is_jump:
+            if not (_is_guard(inst, RA)
+                    or (nxt is not None and _is_guard(nxt, RA))):
+                fail(index, f"ra modified by something other than the "
+                            f"guard: {inst}")
+    return violations
+
+
+def _target_of(inst: RvInstruction) -> Optional[int]:
+    import re
+
+    for op in inst.operands:
+        op = op.strip()
+        match = re.fullmatch(r"-?\d*\((\w+)\)", op)
+        if match:
+            return reg_number(match.group(1))
+    candidates = [reg_number(op.strip()) for op in inst.operands]
+    candidates = [c for c in candidates if c is not None]
+    if inst.mnemonic in ("jalr", "c.jalr") and len(candidates) > 1:
+        return candidates[1]
+    if candidates:
+        return candidates[-1]
+    return RA
+
+
+def _sp_ok_after(insts, position) -> bool:
+    for _, inst in insts[position + 1:]:
+        mem = inst.mem
+        if mem is not None and mem[1] == SP:
+            return True
+        if _is_sp_guard(inst):
+            return True
+        if inst.dest() == SP or inst.is_branch or inst.is_jump:
+            return False
+    return False

@@ -1,0 +1,58 @@
+"""The LFI runtime: loader, runtime calls, VFS, scheduler, fork, yield."""
+
+from .loader import DEFAULT_STACK_SIZE, LoadError, load_image
+from .process import Process, ProcessState, StdStream
+from .runtime import (
+    CALL_OVERHEAD_CYCLES,
+    Deadlock,
+    ProcessFault,
+    Runtime,
+    RuntimeError_,
+    YIELD_CYCLES,
+)
+from .scheduler import Scheduler
+from .table import RuntimeCall, build_table_page, entry_address, table_offset
+from .vfs import (
+    FileHandle,
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    Pipe,
+    PipeEnd,
+    Vfs,
+    VfsError,
+)
+
+__all__ = [
+    "DEFAULT_STACK_SIZE",
+    "LoadError",
+    "load_image",
+    "Process",
+    "ProcessState",
+    "StdStream",
+    "CALL_OVERHEAD_CYCLES",
+    "YIELD_CYCLES",
+    "Deadlock",
+    "ProcessFault",
+    "Runtime",
+    "RuntimeError_",
+    "Scheduler",
+    "RuntimeCall",
+    "build_table_page",
+    "entry_address",
+    "table_offset",
+    "FileHandle",
+    "O_APPEND",
+    "O_CREAT",
+    "O_RDONLY",
+    "O_RDWR",
+    "O_TRUNC",
+    "O_WRONLY",
+    "Pipe",
+    "PipeEnd",
+    "Vfs",
+    "VfsError",
+]

@@ -1,0 +1,84 @@
+"""Per-sandbox process state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..memory.layout import SandboxLayout
+from .vfs import FileHandle, PipeEnd
+
+__all__ = ["Process", "ProcessState"]
+
+
+class ProcessState:
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"  # waiting on a pipe or a child
+    ZOMBIE = "zombie"
+
+
+FdObject = Union[FileHandle, PipeEnd, "StdStream"]
+
+
+class StdStream:
+    """stdout/stderr sink or stdin source owned by the runtime."""
+
+    def __init__(self, readable: bool = False):
+        self.buffer = bytearray()
+        self.readable = readable
+        self.writable = not readable
+        self._read_pos = 0
+
+    def write(self, data: bytes) -> int:
+        self.buffer.extend(data)
+        return len(data)
+
+    def read(self, count: int) -> bytes:
+        data = bytes(self.buffer[self._read_pos:self._read_pos + count])
+        self._read_pos += len(data)
+        return data
+
+    def text(self) -> str:
+        return self.buffer.decode("utf-8", "replace")
+
+
+@dataclass
+class Process:
+    """One sandbox: its slot, saved registers, and kernel-side state."""
+
+    pid: int
+    layout: SandboxLayout
+    registers: dict  # CpuState.snapshot()
+    parent: Optional[int] = None
+    state: str = ProcessState.READY
+    exit_code: Optional[int] = None
+    brk: int = 0  # current program break (absolute address)
+    heap_start: int = 0
+    fds: Dict[int, FdObject] = field(default_factory=dict)
+    children: List[int] = field(default_factory=list)
+    #: Why the process is blocked ("pipe_read", "pipe_write", "wait").
+    block_reason: Optional[str] = None
+    #: Pending blocked operation arguments (retried when unblocked).
+    block_args: Optional[tuple] = None
+    #: Total instructions retired while this process was scheduled.
+    instructions: int = 0
+
+    @property
+    def base(self) -> int:
+        return self.layout.base
+
+    def next_fd(self) -> int:
+        fd = 0
+        while fd in self.fds:
+            fd += 1
+        return fd
+
+    def pointer(self, value: int) -> int:
+        """Resolve a sandbox pointer argument to an absolute address.
+
+        The guard discipline means sandbox pointers are meaningful only in
+        their low 32 bits (§5.3: "pointers can be constructed as 32-bit
+        offsets"); the runtime rebases them exactly like a guard would.
+        """
+        return self.layout.guarded(value)

@@ -1,0 +1,53 @@
+"""Round-robin preemptive scheduler (paper §5.3).
+
+The real runtime uses ``setitimer`` alarm signals for preemption; the
+emulator equivalent is an instruction *fuel* slice — when a sandbox
+exhausts its slice the machine raises ``OutOfFuel`` and the scheduler picks
+the next runnable process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .process import Process, ProcessState
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """FIFO run queue with requeue-on-preempt semantics."""
+
+    def __init__(self, timeslice: int = 50_000):
+        #: Instructions per scheduling quantum (the "timer interval").
+        self.timeslice = timeslice
+        self._queue: Deque[Process] = deque()
+
+    def add(self, proc: Process) -> None:
+        proc.state = ProcessState.READY
+        self._queue.append(proc)
+
+    def add_front(self, proc: Process) -> None:
+        """Schedule next (used by the direct-invoke yield fast path)."""
+        proc.state = ProcessState.READY
+        self._queue.appendleft(proc)
+
+    def pick(self) -> Optional[Process]:
+        """Next runnable process, skipping stale entries."""
+        while self._queue:
+            proc = self._queue.popleft()
+            if proc.state == ProcessState.READY:
+                proc.state = ProcessState.RUNNING
+                return proc
+        return None
+
+    def requeue(self, proc: Process) -> None:
+        self.add(proc)
+
+    def __len__(self) -> int:
+        return sum(1 for p in self._queue if p.state == ProcessState.READY)
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0

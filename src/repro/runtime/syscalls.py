@@ -1,0 +1,264 @@
+"""Runtime call handlers: a small Unix-like OS inside one process (§5.3).
+
+Each handler receives the runtime and the calling process (whose registers
+were just saved), reads arguments from ``x0``-``x5``, and returns either an
+integer result (negative errno on failure), or one of the control sentinels
+``BLOCK`` (the caller must sleep and retry), ``SWITCH`` (the handler
+already completed the call and rearranged the run queue), or ``EXITED``.
+
+File-access calls end up in the VFS ("often end up making a system call to
+Linux" in the paper); process-management calls (fork/wait/yield/pipe) are
+handled *internally*, with no host involvement — the source of LFI's
+syscall speedup.
+"""
+
+from __future__ import annotations
+
+import errno
+from typing import Callable, Dict
+
+from ..memory.layout import PAGE_SIZE
+from ..memory.pages import PERM_RW
+from .process import Process, ProcessState, StdStream
+from .table import RuntimeCall
+from .vfs import FileHandle, PipeEnd, Pipe, VfsError
+
+__all__ = ["BLOCK", "SWITCH", "EXITED", "HANDLERS"]
+
+BLOCK = object()
+SWITCH = object()
+EXITED = object()
+
+_MASK64 = (1 << 64) - 1
+
+
+def _args(proc: Process):
+    regs = proc.registers["regs"]
+    return regs[0], regs[1], regs[2], regs[3], regs[4], regs[5]
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value >> 63 else value
+
+
+def rt_exit(runtime, proc: Process):
+    status, *_ = _args(proc)
+    runtime.terminate(proc, status & 0xFF)
+    return EXITED
+
+
+def rt_open(runtime, proc: Process):
+    path_ptr, flags, _mode, *_ = _args(proc)
+    try:
+        path = runtime.memory.read_cstring(proc.pointer(path_ptr)).decode()
+        handle = runtime.vfs.open(path, flags)
+    except VfsError as exc:
+        return -exc.err
+    except Exception:
+        return -errno.EFAULT
+    fd = proc.next_fd()
+    proc.fds[fd] = handle
+    return fd
+
+
+def rt_close(runtime, proc: Process):
+    fd, *_ = _args(proc)
+    obj = proc.fds.pop(fd, None)
+    if obj is None:
+        return -errno.EBADF
+    if isinstance(obj, PipeEnd):
+        obj.close()
+        runtime.wake_pipe_waiters(obj.pipe)
+    return 0
+
+
+def rt_read(runtime, proc: Process):
+    fd, buf, count, *_ = _args(proc)
+    obj = proc.fds.get(fd)
+    if obj is None:
+        return -errno.EBADF
+    count = min(count, 1 << 20)
+    try:
+        if isinstance(obj, PipeEnd):
+            data = obj.read(count)
+            if data is None:
+                return BLOCK
+        else:
+            data = obj.read(count)
+    except VfsError as exc:
+        return -exc.err
+    if data:
+        runtime.memory.write(proc.pointer(buf), data)
+    return len(data)
+
+
+def rt_write(runtime, proc: Process):
+    fd, buf, count, *_ = _args(proc)
+    obj = proc.fds.get(fd)
+    if obj is None:
+        return -errno.EBADF
+    count = min(count, 1 << 20)
+    data = runtime.memory.read(proc.pointer(buf), count) if count else b""
+    try:
+        if isinstance(obj, PipeEnd):
+            written = obj.write(data)
+            if written is None:
+                return BLOCK
+            runtime.wake_pipe_waiters(obj.pipe)
+            return written
+        return obj.write(data)
+    except VfsError as exc:
+        return -exc.err
+
+
+def rt_lseek(runtime, proc: Process):
+    fd, offset, whence, *_ = _args(proc)
+    obj = proc.fds.get(fd)
+    if not isinstance(obj, FileHandle):
+        return -errno.ESPIPE if obj is not None else -errno.EBADF
+    try:
+        return obj.seek(_signed(offset), whence)
+    except VfsError as exc:
+        return -exc.err
+
+
+def rt_brk(runtime, proc: Process):
+    addr, *_ = _args(proc)
+    if addr == 0:
+        return proc.brk & _MASK64
+    new = proc.pointer(addr)
+    limit = proc.layout.usable_end - runtime.stack_size - PAGE_SIZE
+    if new < proc.heap_start or new > limit:
+        return -errno.ENOMEM
+    old_top = (proc.brk + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+    new_top = (new + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+    if new_top > old_top:
+        runtime.memory.map_region(old_top, new_top - old_top, PERM_RW)
+    proc.brk = new
+    return new & _MASK64
+
+
+def rt_mmap(runtime, proc: Process):
+    _addr, length, _prot, _flags, _fd, _off = _args(proc)
+    if length == 0:
+        return -errno.EINVAL
+    length = (length + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+    base = runtime.mmap_allocate(proc, length)
+    if base is None:
+        return -errno.ENOMEM
+    runtime.memory.map_region(base, length, PERM_RW)
+    return base & _MASK64
+
+
+def rt_munmap(runtime, proc: Process):
+    addr, length, *_ = _args(proc)
+    addr = proc.pointer(addr)
+    length = (length + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+    if addr % PAGE_SIZE:
+        return -errno.EINVAL
+    lo = proc.layout.usable_base
+    hi = proc.layout.usable_end
+    if addr < lo or addr + length > hi:
+        return -errno.EINVAL
+    runtime.memory.unmap(addr, length)
+    runtime.machine.invalidate_code(addr, length)
+    return 0
+
+
+def rt_fork(runtime, proc: Process):
+    child = runtime.fork(proc)
+    if child is None:
+        return -errno.EAGAIN
+    return child.pid
+
+
+def rt_wait(runtime, proc: Process):
+    status_ptr, *_ = _args(proc)
+    zombies = [
+        runtime.processes[pid]
+        for pid in proc.children
+        if runtime.processes[pid].state == ProcessState.ZOMBIE
+    ]
+    if not zombies:
+        if not proc.children:
+            return -errno.ECHILD
+        return BLOCK
+    child = zombies[0]
+    proc.children.remove(child.pid)
+    runtime.reap(child)
+    if status_ptr:
+        runtime.memory.write_u32(proc.pointer(status_ptr),
+                                 child.exit_code or 0)
+    return child.pid
+
+
+def rt_getpid(runtime, proc: Process):
+    return proc.pid
+
+
+def rt_pipe(runtime, proc: Process):
+    fds_ptr, *_ = _args(proc)
+    pipe = Pipe()
+    r, w = proc.next_fd(), None
+    proc.fds[r] = pipe.read_end()
+    w = proc.next_fd()
+    proc.fds[w] = pipe.write_end()
+    runtime.memory.write_u32(proc.pointer(fds_ptr), r)
+    runtime.memory.write_u32(proc.pointer(fds_ptr) + 4, w)
+    return 0
+
+
+def rt_yield(runtime, proc: Process):
+    runtime.complete_call(proc, 0)
+    runtime.scheduler.requeue(proc)
+    return SWITCH
+
+
+def rt_yield_to(runtime, proc: Process):
+    """Direct cross-sandbox invocation: the microkernel-style IPC fast path
+    (§5.3).  Only callee-saved registers survive; the target runs next."""
+    target_pid, *_ = _args(proc)
+    target = runtime.processes.get(target_pid)
+    if target is None or target.state == ProcessState.ZOMBIE:
+        return -errno.ESRCH
+    runtime.complete_call(proc, 0)
+    runtime.scheduler.requeue(proc)
+    if target.state == ProcessState.READY:
+        runtime.scheduler.add_front(target)
+    return SWITCH
+
+
+def rt_clock(runtime, proc: Process):
+    """Nanoseconds of virtual time (cycle model at the machine frequency)."""
+    return int(runtime.virtual_ns()) & _MASK64
+
+
+def rt_unlink(runtime, proc: Process):
+    path_ptr, *_ = _args(proc)
+    try:
+        path = runtime.memory.read_cstring(proc.pointer(path_ptr)).decode()
+        runtime.vfs.unlink(path)
+    except VfsError as exc:
+        return -exc.err
+    return 0
+
+
+HANDLERS: Dict[int, Callable] = {
+    RuntimeCall.EXIT: rt_exit,
+    RuntimeCall.OPEN: rt_open,
+    RuntimeCall.CLOSE: rt_close,
+    RuntimeCall.READ: rt_read,
+    RuntimeCall.WRITE: rt_write,
+    RuntimeCall.LSEEK: rt_lseek,
+    RuntimeCall.BRK: rt_brk,
+    RuntimeCall.MMAP: rt_mmap,
+    RuntimeCall.MUNMAP: rt_munmap,
+    RuntimeCall.FORK: rt_fork,
+    RuntimeCall.WAIT: rt_wait,
+    RuntimeCall.GETPID: rt_getpid,
+    RuntimeCall.PIPE: rt_pipe,
+    RuntimeCall.YIELD: rt_yield,
+    RuntimeCall.YIELD_TO: rt_yield_to,
+    RuntimeCall.CLOCK: rt_clock,
+    RuntimeCall.UNLINK: rt_unlink,
+}

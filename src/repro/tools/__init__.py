@@ -1,0 +1,15 @@
+"""Command-line tools mirroring the paper's artifact (`zyedidia/lfi`).
+
+``python -m repro.tools <command>`` provides:
+
+* ``rewrite`` — the assembly transformer (the artifact's ``lfi-clang``
+  rewriting stage): ``.s`` in, sandboxed ``.s`` out;
+* ``compile`` — assembly in, verified-ready ELF out;
+* ``verify``  — the static verifier (``lfi-verify``);
+* ``run``     — load and execute an ELF in the runtime (``lfi-run``);
+* ``disasm``  — disassemble an ELF's text segment.
+"""
+
+from .cli import main
+
+__all__ = ["main"]

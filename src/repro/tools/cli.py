@@ -1,0 +1,192 @@
+"""Argument parsing and command implementations for ``repro.tools``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..arm64.decoder import decode_word
+from ..arm64.parser import parse_assembly
+from ..core.options import O0, O1, O2, O2_NO_LOADS, RewriteOptions
+from ..core.rewriter import RewriteError, rewrite_assembly
+from ..core.verifier import VerifierPolicy, verify_elf
+from ..elf.format import read_elf, write_elf
+from ..emulator.costs import MACHINE_MODELS
+from ..runtime.runtime import Runtime
+from ..toolchain import compile_lfi, compile_native
+
+__all__ = ["main"]
+
+_LEVELS = {"O0": O0, "O1": O1, "O2": O2, "O2-noloads": O2_NO_LOADS}
+
+
+def _options_from(args) -> RewriteOptions:
+    options = _LEVELS[args.opt_level]
+    if getattr(args, "no_exclusives", False):
+        options = options.with_(allow_exclusives=False)
+    return options
+
+
+def _cmd_rewrite(args) -> int:
+    text = _read_text(args.input)
+    try:
+        out = rewrite_assembly(text, _options_from(args))
+    except RewriteError as exc:
+        print(f"rewrite error: {exc}", file=sys.stderr)
+        return 1
+    _write_text(args.output, out)
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    text = _read_text(args.input)
+    try:
+        if args.native:
+            output = compile_native(text, bss_size=args.bss)
+        else:
+            output = compile_lfi(text, options=_options_from(args),
+                                 bss_size=args.bss)
+    except RewriteError as exc:
+        print(f"compile error: {exc}", file=sys.stderr)
+        return 1
+    data = write_elf(output.elf)
+    with open(args.output, "wb") as handle:
+        handle.write(data)
+    if output.rewrite is not None:
+        stats = output.rewrite.stats
+        print(f"{stats.input_instructions} -> {stats.output_instructions} "
+              f"instructions (+{100 * stats.code_size_overhead:.1f}%)",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    with open(args.input, "rb") as handle:
+        image = read_elf(handle.read())
+    policy = VerifierPolicy(
+        allow_exclusives=not args.no_exclusives,
+        sandbox_loads=not args.no_loads,
+    )
+    result = verify_elf(image, policy)
+    print(f"{result.instructions} instructions, "
+          f"{result.bytes_verified} bytes")
+    if result.ok:
+        print("OK")
+        return 0
+    for violation in result.violations[: args.max_errors]:
+        print(str(violation), file=sys.stderr)
+    print(f"FAILED: {len(result.violations)} violation(s)", file=sys.stderr)
+    return 1
+
+
+def _cmd_run(args) -> int:
+    with open(args.input, "rb") as handle:
+        image = read_elf(handle.read())
+    model = MACHINE_MODELS.get(args.machine) if args.machine else None
+    runtime = Runtime(model=model)
+    policy = VerifierPolicy(sandbox_loads=not args.no_loads)
+    proc = runtime.spawn(image, verify=not args.unsafe_no_verify,
+                         policy=policy)
+    code = runtime.run_until_exit(proc, max_instructions=args.max_insts)
+    sys.stdout.write(runtime.stdout_of(proc))
+    if args.stats:
+        print(f"[{runtime.machine.instret} instructions, "
+              f"{runtime.cycles:.0f} cycles]", file=sys.stderr)
+    for fault in runtime.faults:
+        print(f"[fault: pid {fault.pid} {fault.kind}: {fault.detail}]",
+              file=sys.stderr)
+    return code
+
+
+def _cmd_disasm(args) -> int:
+    with open(args.input, "rb") as handle:
+        image = read_elf(handle.read())
+    for segment in image.segments:
+        if not segment.flags & 0x1:
+            continue
+        data = bytes(segment.data)
+        for offset in range(0, len(data) - len(data) % 4, 4):
+            word = int.from_bytes(data[offset:offset + 4], "little")
+            address = segment.vaddr + offset
+            inst = decode_word(word, address)
+            text = str(inst) if inst is not None else "<undecodable>"
+            print(f"{address:10x}:  {word:08x}   {text}")
+    return 0
+
+
+def _read_text(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _write_text(path: Optional[str], text: str) -> None:
+    if path in (None, "-"):
+        sys.stdout.write(text)
+        return
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def _add_opt_level(parser) -> None:
+    parser.add_argument("-O", dest="opt_level", default="O2",
+                        choices=sorted(_LEVELS),
+                        help="rewriter optimization level (paper §6.1)")
+    parser.add_argument("--no-exclusives", action="store_true",
+                        help="disallow LL/SC (Spectre hardening, §7.1)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools",
+        description="LFI toolchain: rewrite, compile, verify, run, disasm",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("rewrite", help="insert SFI guards into assembly")
+    p.add_argument("input", help="GNU assembly file ('-' for stdin)")
+    p.add_argument("-o", "--output", default="-")
+    _add_opt_level(p)
+    p.set_defaults(func=_cmd_rewrite)
+
+    p = sub.add_parser("compile", help="assembly -> sandbox ELF")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--bss", type=int, default=0,
+                   help="extra zero-initialized memory (bytes)")
+    p.add_argument("--native", action="store_true",
+                   help="skip the rewriter (unsandboxed baseline)")
+    _add_opt_level(p)
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("verify", help="statically verify an ELF")
+    p.add_argument("input")
+    p.add_argument("--no-exclusives", action="store_true")
+    p.add_argument("--no-loads", action="store_true",
+                   help="store-only isolation policy")
+    p.add_argument("--max-errors", type=int, default=10)
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("run", help="run an ELF in the LFI runtime")
+    p.add_argument("input")
+    p.add_argument("--machine", choices=sorted(MACHINE_MODELS),
+                   help="enable the cycle model for this machine")
+    p.add_argument("--unsafe-no-verify", action="store_true",
+                   help="skip verification (trusted native code)")
+    p.add_argument("--no-loads", action="store_true")
+    p.add_argument("--stats", action="store_true")
+    p.add_argument("--max-insts", type=int, default=None)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("disasm", help="disassemble an ELF text segment")
+    p.add_argument("input")
+    p.set_defaults(func=_cmd_disasm)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,26 @@
+"""Workloads: SPEC CPU2017 stand-in generators and the runtime-call shim."""
+
+from .kernels import KERNELS, Kernel
+from .rtlib import prologue, rt_exit, rtcall
+from .spec import (
+    BenchmarkProfile,
+    SPEC_BENCHMARKS,
+    WASM_SUBSET,
+    arena_bss_size,
+    benchmark_names,
+    build_benchmark,
+)
+
+__all__ = [
+    "KERNELS",
+    "Kernel",
+    "prologue",
+    "rt_exit",
+    "rtcall",
+    "BenchmarkProfile",
+    "SPEC_BENCHMARKS",
+    "WASM_SUBSET",
+    "arena_bss_size",
+    "benchmark_names",
+    "build_benchmark",
+]

@@ -1,0 +1,332 @@
+"""Assembly kernel emitters: the building blocks of the SPEC stand-ins.
+
+Each kernel is a leaf function written the way Clang emits code — real
+prologues, realistic addressing-mode mixes — so the LFI rewriter sees the
+same patterns the paper's toolchain saw.  Calling convention:
+
+* ``x0`` — arena base (a large .bss buffer)
+* ``x1`` — inner iteration count
+* kernels clobber only ``x0``-``x17`` and ``v0``-``v7``; ``x19``-``x28``
+  belong to the driver (and x18/x21-x24 are LFI-reserved, never used).
+
+Every emitter returns ``(label, asm_text, insts_per_iter)`` where
+``insts_per_iter`` is the approximate dynamic instruction count of one
+inner iteration, used by the builder to translate profile weights into
+iteration counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+__all__ = ["Kernel", "KERNELS", "ARENA_ALIGN"]
+
+ARENA_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One emitted kernel: entry label, code, and per-iteration cost."""
+
+    name: str
+    label: str
+    text: str
+    insts_per_iter: float
+    #: True if the kernel walks the whole arena (needs the chase ring).
+    needs_chain: bool = False
+    needs_table: bool = False
+
+
+def _kern_stream_int() -> Kernel:
+    """Sequential integer streaming: runs of same-base accesses.
+
+    The bread and butter of redundant guard elimination (§4.3): four loads
+    and two stores off one base register per iteration.
+    """
+    text = """
+kern_stream_int:
+    mov x2, x0
+kern_stream_int_loop:
+    ldr x3, [x2]
+    ldr x4, [x2, #8]
+    ldr x5, [x2, #16]
+    ldr x6, [x2, #24]
+    add x3, x3, x4
+    add x5, x5, x6
+    add x3, x3, x5
+    str x3, [x2, #32]
+    str x5, [x2, #40]
+    add x2, x2, #320
+    subs x1, x1, #1
+    b.ne kern_stream_int_loop
+    ret
+"""
+    return Kernel("stream_int", "kern_stream_int", text, 12.0)
+
+
+def _kern_stream_fp() -> Kernel:
+    """Streaming floating point (lbm/namd style): loads, fmadd chain,
+    stores — memory-bandwidth-shaped, highly hoistable."""
+    text = """
+kern_stream_fp:
+    mov x2, x0
+kern_stream_fp_loop:
+    ldr d0, [x2]
+    ldr d1, [x2, #8]
+    ldr d2, [x2, #16]
+    ldr d3, [x2, #24]
+    fmadd d4, d0, d1, d2
+    fmadd d5, d1, d2, d3
+    fadd d6, d4, d5
+    str d6, [x2, #32]
+    str d4, [x2, #40]
+    ldr d0, [x2, #320]
+    ldr d1, [x2, #328]
+    ldr d2, [x2, #336]
+    ldr d3, [x2, #344]
+    fmadd d4, d0, d1, d2
+    fmadd d5, d1, d2, d3
+    fadd d6, d4, d5
+    str d6, [x2, #352]
+    str d4, [x2, #360]
+    add x2, x2, #640
+    subs x1, x1, #1
+    b.ne kern_stream_fp_loop
+    ret
+"""
+    return Kernel("stream_fp", "kern_stream_fp", text, 21.0)
+
+
+def _kern_chase() -> Kernel:
+    """Pointer chasing (mcf/omnetpp): a dependent-load chain.
+
+    Every iteration is ``ldr x2, [x2]`` — the case where the O0 two-cycle
+    guard sits directly on the critical path and the O1 zero-instruction
+    guard costs nothing (§4.1).
+    """
+    text = """
+kern_chase:
+    ldr x2, [x0]
+kern_chase_loop:
+    ldr x2, [x2]
+    ldr x3, [x2, #8]
+    add x4, x4, x3
+    subs x1, x1, #1
+    b.ne kern_chase_loop
+    str x4, [x0, #8]
+    ret
+"""
+    return Kernel("chase", "kern_chase", text, 5.0, needs_chain=True)
+
+
+def _kern_btree() -> Kernel:
+    """Branchy tree search (deepsjeng/leela): register-offset loads whose
+    index depends on the loaded data, plus unpredictable branches.
+
+    Register-offset addressing always costs one extra instruction under
+    LFI (Table 3), and nothing is hoistable — this is why leela is the
+    paper's worst case (17% on M1).
+    """
+    text = """
+kern_btree:
+    movz x2, #12345              // search state
+    mov x6, #0
+kern_btree_loop:
+    lsr x4, x2, #3
+    and x4, x4, x5               // x5 = index mask (set by the driver)
+    ldr x7, [x0, x4, lsl #3]
+    and x8, x7, x5               // child index comes from the loaded node
+    ldr x9, [x0, x8, lsl #3]
+    eor x2, x2, x9               // search state depends on both loads
+    add x2, x2, #2531
+    cmp x7, x4
+    b.hi kern_btree_right
+    add x6, x6, x9
+    b kern_btree_next
+kern_btree_right:
+    eor x6, x6, x9
+kern_btree_next:
+    subs x1, x1, #1
+    b.ne kern_btree_loop
+    str x6, [x0]
+    ret
+"""
+    return Kernel("btree", "kern_btree", text, 13.0)
+
+
+def _kern_bytes() -> Kernel:
+    """Byte scanning with a lookup table (xz/gcc): post-index byte loads,
+    table lookups, compare-and-branch."""
+    text = """
+kern_bytes:
+    mov x2, x0
+    add x3, x0, #4096            // lookup table region
+    mov x6, #0
+kern_bytes_loop:
+    ldrb w4, [x2], #1
+    and x4, x4, #0xff
+    ldrb w5, [x3, x4]
+    add x6, x6, x5
+    cmp w5, #128
+    b.hi kern_bytes_skip
+    eor x6, x6, x4
+kern_bytes_skip:
+    subs x1, x1, #1
+    b.ne kern_bytes_loop
+    str x6, [x0, #16]
+    ret
+"""
+    return Kernel("bytes", "kern_bytes", text, 9.5)
+
+
+def _kern_simd() -> Kernel:
+    """SIMD pixel kernel (x264/imagick): 128-bit vector loads, vector
+    arithmetic, vector stores — SIMD shares the integer address path, so
+    guards apply identically (§2)."""
+    text = """
+kern_simd:
+    mov x2, x0
+kern_simd_loop:
+    ldr q0, [x2]
+    ldr q1, [x2, #16]
+    ldr q2, [x2, #32]
+    add v3.4s, v0.4s, v1.4s
+    mul v4.4s, v1.4s, v2.4s
+    eor v5.16b, v3.16b, v4.16b
+    str q5, [x2, #48]
+    add x2, x2, #320
+    subs x1, x1, #1
+    b.ne kern_simd_loop
+    ret
+"""
+    return Kernel("simd", "kern_simd", text, 10.0)
+
+
+def _kern_fma() -> Kernel:
+    """Dense FP compute (namd/parest/nab): register-offset indexed loads
+    feeding a fused-multiply-add reduction."""
+    text = """
+kern_fma:
+    mov x2, #0
+    fmov d4, #1.0
+    fmov d5, #0.5
+kern_fma_loop:
+    and x3, x2, x5               // x5 = index mask
+    ldr d0, [x0, x3, lsl #3]
+    add x4, x3, #8
+    and x4, x4, x5
+    ldr d1, [x0, x4, lsl #3]
+    fmadd d4, d0, d5, d4
+    fmadd d5, d1, d4, d5
+    fadd d6, d4, d5
+    add x2, x2, #3
+    subs x1, x1, #1
+    b.ne kern_fma_loop
+    str d6, [x0, #24]
+    ret
+"""
+    return Kernel("fma", "kern_fma", text, 11.5)
+
+
+def _kern_calls() -> Kernel:
+    """Indirect-call-heavy code (gcc/omnetpp/xalancbmk): dispatch through
+    a function-pointer table.  Each call is an indirect branch (guarded by
+    LFI; type-checked at greater cost by Wasm, §6.2)."""
+    text = """
+kern_calls:
+    mov x15, x30
+    add x3, x0, #2048            // fn pointer table (filled by init)
+    mov x6, #0
+kern_calls_loop:
+    and x4, x1, #1
+    ldr x5, [x3, x4, lsl #3]
+    mov x0, x6
+    blr x5
+    mov x6, x0
+    subs x1, x1, #1
+    b.ne kern_calls_loop
+    mov x30, x15
+    ret
+
+kern_calls_fn_a:
+    stp x29, x30, [sp, #-16]!
+    mov x29, sp
+    add x0, x0, #3
+    ldp x29, x30, [sp], #16
+    ret
+
+kern_calls_fn_b:
+    stp x29, x30, [sp, #-16]!
+    mov x29, sp
+    eor x0, x0, #0xff
+    add x0, x0, #1
+    ldp x29, x30, [sp], #16
+    ret
+"""
+    return Kernel("calls", "kern_calls", text, 16.0, needs_table=True)
+
+
+def _kern_stack() -> Kernel:
+    """Stack-heavy leaf code (function-call-dense C++): sp-relative spills
+    and reloads.  Free under LFI thanks to the sp invariants (§4.2)."""
+    text = """
+kern_stack:
+    sub sp, sp, #96
+kern_stack_loop:
+    str x2, [sp]
+    str x3, [sp, #8]
+    str x4, [sp, #16]
+    stp x5, x6, [sp, #24]
+    ldr x2, [sp, #8]
+    ldr x3, [sp, #16]
+    ldp x5, x6, [sp, #24]
+    add x2, x2, x3
+    add x5, x5, x6
+    subs x1, x1, #1
+    b.ne kern_stack_loop
+    add sp, sp, #96
+    ret
+"""
+    return Kernel("stack", "kern_stack", text, 12.0)
+
+
+def _kern_random() -> Kernel:
+    """Scattered access over a large working set (mcf/omnetpp/xalancbmk):
+    LCG-indexed loads that stress the TLB (Figure 5's KVM mechanism)."""
+    text = """
+kern_random:
+    movz x2, #777
+    mov x6, #0
+kern_random_loop:
+    movz x3, #0x41c6, lsl #16
+    movk x3, #0x4e6d
+    mul x2, x2, x3
+    add x2, x2, #2531
+    lsr x4, x2, #13
+    and x4, x4, x5               // x5 = byte mask (8-aligned)
+    and x4, x4, #0xfffffffffffffff8
+    ldr x7, [x0, x4]
+    add x6, x6, x7
+    subs x1, x1, #1
+    b.ne kern_random_loop
+    str x6, [x0, #32]
+    ret
+"""
+    return Kernel("random", "kern_random", text, 11.0)
+
+
+_BUILDERS: Tuple[Callable[[], Kernel], ...] = (
+    _kern_stream_int,
+    _kern_stream_fp,
+    _kern_chase,
+    _kern_btree,
+    _kern_bytes,
+    _kern_simd,
+    _kern_fma,
+    _kern_calls,
+    _kern_stack,
+    _kern_random,
+)
+
+KERNELS: Dict[str, Kernel] = {k.name: k for k in (b() for b in _BUILDERS)}

@@ -1,0 +1,43 @@
+"""Assembly runtime-call library: the "instrumented libc" shim (§5.1).
+
+Generated programs call the runtime using the trampoline-free sequence of
+§4.4.  As in the paper's implementation, x30 is conservatively saved and
+restored around the call (the rewriter adds the x30 guard after the
+restore).
+
+Arguments go in x0-x5 and the result comes back in x0, so these sequences
+drop in wherever a syscall would be.
+"""
+
+from __future__ import annotations
+
+from ..runtime.table import RuntimeCall, table_offset
+
+__all__ = ["rtcall", "rt_exit", "prologue", "RuntimeCall"]
+
+
+def rtcall(call: int, save_reg: str = "x9") -> str:
+    """The runtime-call sequence (paper §4.4), saving x30 in ``save_reg``."""
+    offset = table_offset(call)
+    return (
+        f"\tmov {save_reg}, x30\n"
+        f"\tldr x30, [x21, #{offset}]\n"
+        f"\tblr x30\n"
+        f"\tmov x30, {save_reg}\n"
+    )
+
+
+def rt_exit(code_reg: str = "x0") -> str:
+    """Terminate the process with the status in ``code_reg`` (no return)."""
+    lines = ""
+    if code_reg != "x0":
+        lines += f"\tmov x0, {code_reg}\n"
+    offset = table_offset(RuntimeCall.EXIT)
+    return lines + (
+        f"\tldr x30, [x21, #{offset}]\n"
+        f"\tblr x30\n"
+    )
+
+
+def prologue(name: str = "_start") -> str:
+    return f".text\n.globl {name}\n{name}:\n"

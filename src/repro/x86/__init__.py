@@ -1,0 +1,40 @@
+"""LFI for x86-64: a working implementation of the paper's §7.2 design.
+
+The paper sketches the x86-64 port:
+
+* reserve one register (``%r15``) and place the sandbox base in a segment
+  register (``%gs``);
+* rewrite memory operations as 32-bit offsets from ``%gs`` — the
+  ``%gs:(%r15d)`` shape: a 32-bit move into ``%r15d`` zero-extends (the
+  x86-64 rule), and the segment base supplies the sandbox base;
+* rely on **Intel CET** indirect-branch tracking for control flow, which
+  removes NaCl's 32-byte bundling/alignment constraints entirely: every
+  indirect branch must land on an ``endbr64`` instruction.
+
+Design choices documented for this study (the paper is a sketch):
+
+* the runtime stores the numeric sandbox base at ``%gs:0`` (the first
+  slot of the read-only table page), so indirect-branch guards can
+  materialize absolute targets with ``movl %eN, %r15d; addq %gs:0, %r15``;
+* ``%rsp``/``%rbp`` carry the ARM64 sp-style invariants: immediate
+  displacements ride the guard regions, and rsp writes are re-guarded;
+* the verifier checks CET discipline (``endbr64`` after labels that are
+  indirect-branch targets) instead of alignment.
+
+Like :mod:`repro.riscv`, this is validated at the assembly level (no
+machine-code encoder; DESIGN.md §6).
+"""
+
+from .isa import X86Instruction, parse_x86, print_x86
+from .rewriter import X86RewriteError, rewrite_x86
+from .verifier import X86Violation, verify_x86
+
+__all__ = [
+    "X86Instruction",
+    "parse_x86",
+    "print_x86",
+    "X86RewriteError",
+    "rewrite_x86",
+    "X86Violation",
+    "verify_x86",
+]

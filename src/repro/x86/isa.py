@@ -1,0 +1,242 @@
+"""A small AT&T-syntax x86-64 model and parser for the §7.2 port study."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+__all__ = ["X86Instruction", "X86Label", "X86Directive", "X86Program",
+           "MemRef", "parse_x86", "print_x86", "reg64_of", "LOADSTORE_OPS"]
+
+#: 64-bit register names and their 32-bit views.
+_R64 = ["rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+        "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15"]
+_R32 = ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+        "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d"]
+_TO64 = {name: _R64[i] for i, name in enumerate(_R32)}
+_TO64.update({name: name for name in _R64})
+_TO32 = {name: _R32[i] for i, name in enumerate(_R64)}
+
+
+def reg64_of(name: str) -> Optional[str]:
+    """Canonical 64-bit name of a register operand (``%eax`` -> ``rax``)."""
+    return _TO64.get(name.lstrip("%").lower())
+
+
+def reg32_of(name: str) -> str:
+    return _TO32[reg64_of(name)]
+
+
+#: Mnemonics whose memory operand is read and/or written (others, like
+#: lea, only compute addresses).
+LOADSTORE_OPS = frozenset({
+    "mov", "movq", "movl", "movb", "movw", "movzbl", "movzwl", "movslq",
+    "add", "addq", "addl", "sub", "subq", "subl", "and", "andq", "or",
+    "orq", "xor", "xorq", "cmp", "cmpq", "cmpl", "test", "imul", "imulq",
+    "inc", "incq", "dec", "decq",
+})
+
+UNSAFE_OPS = frozenset({"syscall", "int", "sysenter", "wrmsr", "rdmsr",
+                        "wrgsbase", "wrfsbase", "iret", "iretq"})
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """AT&T memory operand: ``seg:disp(base, index, scale)``."""
+
+    disp: int = 0
+    base: Optional[str] = None  # canonical 64-bit name
+    index: Optional[str] = None
+    scale: int = 1
+    segment: Optional[str] = None  # "gs" for guarded accesses
+
+    def __str__(self) -> str:
+        seg = f"%{self.segment}:" if self.segment else ""
+        disp = str(self.disp) if self.disp else ""
+        if self.base is None and self.index is None:
+            return f"{seg}{self.disp}"
+        inner = f"%{self.base}" if self.base else ""
+        if self.index:
+            inner += f", %{self.index}"
+            if self.scale != 1:
+                inner += f", {self.scale}"
+        return f"{seg}{disp}({inner})"
+
+
+Operand = Union[str, int, MemRef]
+
+
+@dataclass
+class X86Instruction:
+    """One AT&T instruction; operands keep source order (src, dst)."""
+
+    mnemonic: str
+    operands: Tuple[Operand, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return self.mnemonic
+        rendered = []
+        for op in self.operands:
+            if isinstance(op, MemRef):
+                rendered.append(str(op))
+            elif isinstance(op, int):
+                rendered.append(f"${op}")
+            else:
+                rendered.append(op)
+        return f"{self.mnemonic} " + ", ".join(rendered)
+
+    @property
+    def mem(self) -> Optional[MemRef]:
+        for op in self.operands:
+            if isinstance(op, MemRef):
+                return op
+        return None
+
+    @property
+    def is_indirect_branch(self) -> bool:
+        return self.mnemonic in ("jmp", "call") and any(
+            isinstance(op, str) and op.startswith("*") for op in self.operands
+        ) or self.mnemonic in ("jmpq", "callq") and any(
+            isinstance(op, str) and op.startswith("*") for op in self.operands
+        )
+
+    def dest_reg(self) -> Optional[str]:
+        """Canonical 64-bit destination register (AT&T: last operand)."""
+        if not self.operands:
+            return None
+        if self.mnemonic.startswith(("j", "call", "ret", "push", "cmp",
+                                     "test")):
+            if self.mnemonic == "pop" or self.mnemonic == "popq":
+                pass
+            else:
+                return None
+        last = self.operands[-1]
+        if isinstance(last, str) and last.startswith("%"):
+            return reg64_of(last)
+        return None
+
+    def reg_operands(self) -> List[str]:
+        out = []
+        for op in self.operands:
+            if isinstance(op, str) and op.startswith("%"):
+                reg = reg64_of(op)
+                if reg:
+                    out.append(reg)
+            elif isinstance(op, str) and op.startswith("*%"):
+                reg = reg64_of(op[1:])
+                if reg:
+                    out.append(reg)
+            elif isinstance(op, MemRef):
+                if op.base:
+                    out.append(op.base)
+                if op.index:
+                    out.append(op.index)
+        return out
+
+
+@dataclass(frozen=True)
+class X86Label:
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}:"
+
+
+@dataclass(frozen=True)
+class X86Directive:
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+Item = Union[X86Instruction, X86Label, X86Directive]
+
+
+@dataclass
+class X86Program:
+    items: List[Item] = field(default_factory=list)
+
+    def instructions(self) -> List[X86Instruction]:
+        return [i for i in self.items if isinstance(i, X86Instruction)]
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_MEM_RE = re.compile(
+    r"^(?:%(\w+):)?(-?\d*)\(\s*(%\w+)?\s*(?:,\s*(%\w+)\s*(?:,\s*(\d+))?)?\)$"
+)
+
+
+def _parse_operand(text: str) -> Operand:
+    text = text.strip()
+    if text.startswith("$"):
+        return int(text[1:], 0)
+    match = _MEM_RE.match(text)
+    if match:
+        seg, disp, base, index, scale = match.groups()
+        return MemRef(
+            disp=int(disp) if disp else 0,
+            base=reg64_of(base) if base else None,
+            index=reg64_of(index) if index else None,
+            scale=int(scale) if scale else 1,
+            segment=seg,
+        )
+    # Bare gs-absolute (``%gs:0``).
+    gs_abs = re.match(r"^%(\w+):(-?\d+)$", text)
+    if gs_abs:
+        return MemRef(disp=int(gs_abs.group(2)), segment=gs_abs.group(1))
+    return text  # register (%rax), indirect target (*%rax), or label
+
+
+def _split_operands(text: str) -> List[str]:
+    parts, depth, current = [], 0, []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_x86(text: str) -> X86Program:
+    """Parse AT&T-syntax x86-64 assembly."""
+    program = X86Program()
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        while line:
+            match = _LABEL_RE.match(line)
+            if match:
+                program.items.append(X86Label(match.group(1)))
+                line = line[match.end():].strip()
+                continue
+            if line.startswith("."):
+                program.items.append(X86Directive(line))
+                break
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = tuple(
+                _parse_operand(p) for p in _split_operands(parts[1])
+            ) if len(parts) > 1 else ()
+            program.items.append(X86Instruction(mnemonic, operands))
+            break
+    return program
+
+
+def print_x86(program: X86Program) -> str:
+    lines = []
+    for item in program.items:
+        if isinstance(item, X86Label):
+            lines.append(str(item))
+        else:
+            lines.append(f"\t{item}")
+    return "\n".join(lines) + "\n"

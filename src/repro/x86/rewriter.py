@@ -1,0 +1,177 @@
+"""The §7.2 x86-64 rewriter: %gs-based guards plus CET landing pads.
+
+Scheme (see the package docstring for the design decisions):
+
+* memory access ``disp(%rN)``            ->  ``movl %eN, %r15d``
+                                             ``op %gs:disp(%r15)``
+* indexed access ``disp(%rN, %rM, s)``   ->  ``leal disp(%rN,%rM,s), %r15d``
+                                             ``op %gs:(%r15)``
+* indirect branch ``jmp *%rN``           ->  ``movl %eN, %r15d``
+                                             ``addq %gs:0, %r15``
+                                             ``jmp *%r15``
+* every function label / indirect target gets an ``endbr64`` landing pad
+  (Intel CET replaces NaCl's bundle alignment, §7.2);
+* ``%rsp`` accesses with immediate displacements and push/pop are free;
+  rsp writes are re-guarded (``movl %esp, %esp; addq %gs:0, %rsp``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .isa import (
+    MemRef,
+    UNSAFE_OPS,
+    X86Directive,
+    X86Instruction,
+    X86Label,
+    X86Program,
+    parse_x86,
+    print_x86,
+    reg32_of,
+    reg64_of,
+)
+
+__all__ = ["X86RewriteError", "rewrite_x86", "SCRATCH", "BASE_SLOT"]
+
+SCRATCH = "r15"
+#: %gs:BASE_SLOT holds the numeric sandbox base (first table-page slot).
+BASE_SLOT = 0
+
+_RSP_SMALL = 1 << 10
+
+
+class X86RewriteError(ValueError):
+    pass
+
+
+def _ins(mnemonic: str, *ops) -> X86Instruction:
+    return X86Instruction(mnemonic, tuple(ops))
+
+
+def _guard_move(reg: str) -> X86Instruction:
+    """``movl %eN, %r15d`` — the 32-bit move zero-extends into %r15."""
+    return _ins("movl", f"%{reg32_of('%' + reg)}", "%r15d")
+
+
+def _guard_lea(mem: MemRef) -> X86Instruction:
+    """``leal disp(%base,%index,scale), %r15d`` — fold indexed addresses."""
+    return _ins("leal", MemRef(disp=mem.disp, base=mem.base,
+                               index=mem.index, scale=mem.scale), "%r15d")
+
+
+def _rebase() -> X86Instruction:
+    return _ins("addq", MemRef(disp=BASE_SLOT, segment="gs"), "%r15")
+
+
+def _rsp_guard() -> List[X86Instruction]:
+    return [
+        _ins("movl", "%esp", "%esp"),  # zero-extend rsp in place
+        _ins("addq", MemRef(disp=BASE_SLOT, segment="gs"), "%rsp"),
+    ]
+
+
+def rewrite_x86(text: str) -> str:
+    """Rewrite AT&T x86-64 assembly per the §7.2 LFI port design."""
+    program = parse_x86(text)
+    out = X86Program()
+    items = program.items
+    for index, item in enumerate(items):
+        if isinstance(item, X86Label):
+            out.items.append(item)
+            # CET landing pad on potential indirect targets: function-ish
+            # labels (not local .L ones).
+            if not item.name.startswith(".L"):
+                out.items.append(_ins("endbr64"))
+            continue
+        if not isinstance(item, X86Instruction):
+            out.items.append(item)
+            continue
+        _check_input(item)
+        _rewrite_one(item, items, index, out)
+    return print_x86(out)
+
+
+def _check_input(inst: X86Instruction) -> None:
+    if inst.mnemonic in UNSAFE_OPS:
+        raise X86RewriteError(f"unsafe instruction in input: {inst}")
+    for reg in inst.reg_operands():
+        if reg == SCRATCH:
+            raise X86RewriteError(f"input uses reserved %r15: {inst}")
+
+
+def _rewrite_one(inst: X86Instruction, items, index, out: X86Program) -> None:
+    mem = inst.mem
+
+    # Indirect branches: guard + rebase + CET-checked jump.
+    target = _indirect_target(inst)
+    if target is not None:
+        out.items.append(_guard_move(target))
+        out.items.append(_rebase())
+        out.items.append(_ins(inst.mnemonic, "*%r15"))
+        return
+
+    if mem is not None and inst.mnemonic != "lea" and not (
+        inst.mnemonic.startswith("lea")
+    ):
+        if mem.segment == "gs":
+            raise X86RewriteError(f"input uses %gs segment: {inst}")
+        if mem.base == "rsp" or mem.base == "rbp":
+            if mem.index is None:
+                out.items.append(inst)  # rides the guard regions
+                return
+        if mem.base is None and mem.index is None:
+            out.items.append(inst)  # absolute constant: linker's business
+            return
+        if mem.index is not None:
+            out.items.append(_guard_lea(mem))
+            new_mem = MemRef(disp=0, base=SCRATCH, segment="gs")
+        else:
+            out.items.append(_guard_move(mem.base))
+            new_mem = MemRef(disp=mem.disp, base=SCRATCH, segment="gs")
+        new_ops = tuple(
+            new_mem if isinstance(op, MemRef) else op for op in inst.operands
+        )
+        out.items.append(X86Instruction(inst.mnemonic, new_ops))
+        return
+
+    # rsp writes (other than push/pop, which stay within guard reach).
+    dest = inst.dest_reg()
+    if dest == "rsp" and inst.mnemonic not in ("push", "pushq", "pop",
+                                               "popq", "call", "ret"):
+        small = (
+            inst.mnemonic in ("addq", "subq", "add", "sub")
+            and isinstance(inst.operands[0], int)
+            and abs(inst.operands[0]) < _RSP_SMALL
+            and _rsp_access_follows(items, index)
+        )
+        out.items.append(inst)
+        if not small:
+            out.items.extend(_rsp_guard())
+        return
+
+    out.items.append(inst)
+
+
+def _indirect_target(inst: X86Instruction):
+    if inst.mnemonic not in ("jmp", "jmpq", "call", "callq"):
+        return None
+    for op in inst.operands:
+        if isinstance(op, str) and op.startswith("*%"):
+            return reg64_of(op[1:])
+    return None
+
+
+def _rsp_access_follows(items, index) -> bool:
+    for item in items[index + 1:]:
+        if not isinstance(item, X86Instruction):
+            return False
+        mem = item.mem
+        if mem is not None and mem.base == "rsp" and mem.index is None:
+            return True
+        if item.mnemonic in ("push", "pushq", "pop", "popq"):
+            return True
+        if item.dest_reg() == "rsp" or item.mnemonic.startswith("j") \
+                or item.mnemonic in ("call", "ret", "callq", "retq"):
+            return False
+    return False

@@ -1,0 +1,189 @@
+"""Verifier for the x86-64 port: §5.2 rules under the §7.2 scheme.
+
+Checks, at the instruction-stream level:
+
+1. memory accesses use the ``%gs`` segment with a 32-bit-constructed
+   ``%r15``, or are rsp/rbp-relative with immediate displacements;
+2. ``%r15`` is only written by the zero-extending guard forms
+   (``movl/leal ..., %r15d``) or the rebase ``addq %gs:0, %r15`` that
+   must immediately follow one;
+3. ``%rsp`` is only modified by push/pop/call/ret, small immediates with
+   a following rsp access, or the rsp guard pair;
+4. indirect branches go through ``*%r15`` after a guard+rebase, and
+   (CET discipline) every non-local label is followed by ``endbr64``;
+5. no unsafe instructions (syscall, wrgsbase, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .isa import (
+    MemRef,
+    UNSAFE_OPS,
+    X86Instruction,
+    X86Label,
+    parse_x86,
+)
+from .rewriter import BASE_SLOT, SCRATCH, _RSP_SMALL
+
+__all__ = ["X86Violation", "verify_x86"]
+
+_MAX_DISPLACEMENT = 1 << 15
+
+
+@dataclass(frozen=True)
+class X86Violation:
+    index: int
+    reason: str
+
+    def __str__(self) -> str:
+        return f"instruction {self.index}: {self.reason}"
+
+
+def _is_guard_write(inst: X86Instruction) -> bool:
+    """``movl ..., %r15d`` or ``leal mem, %r15d`` (zero-extending)."""
+    if inst.mnemonic not in ("movl", "leal"):
+        return False
+    last = inst.operands[-1] if inst.operands else None
+    return last == "%r15d"
+
+
+def _is_rebase(inst: X86Instruction) -> bool:
+    if inst.mnemonic != "addq" or len(inst.operands) != 2:
+        return False
+    src, dst = inst.operands
+    return (isinstance(src, MemRef) and src.segment == "gs"
+            and src.disp == BASE_SLOT and src.base is None
+            and dst == "%r15")
+
+
+def _is_rsp_guard_pair(a: X86Instruction, b: Optional[X86Instruction]) -> bool:
+    if a.mnemonic != "movl" or tuple(a.operands) != ("%esp", "%esp"):
+        return False
+    if b is None or b.mnemonic != "addq" or len(b.operands) != 2:
+        return False
+    src, dst = b.operands
+    return (isinstance(src, MemRef) and src.segment == "gs"
+            and src.disp == BASE_SLOT and dst == "%rsp")
+
+
+def verify_x86(text: str) -> List[X86Violation]:
+    program = parse_x86(text)
+    items = program.items
+    insts = [
+        (i, item) for i, item in enumerate(items)
+        if isinstance(item, X86Instruction)
+    ]
+    violations: List[X86Violation] = []
+
+    def fail(index: int, reason: str) -> None:
+        violations.append(X86Violation(index, reason))
+
+    # CET discipline: non-local labels must be endbr64 landing pads.
+    for position, item in enumerate(items):
+        if isinstance(item, X86Label) and not item.name.startswith(".L"):
+            nxt = next(
+                (x for x in items[position + 1:]
+                 if isinstance(x, X86Instruction)), None
+            )
+            if nxt is None or nxt.mnemonic != "endbr64":
+                fail(position, f"label {item.name} lacks an endbr64 "
+                               f"landing pad")
+
+    for position, (index, inst) in enumerate(insts):
+        prev = insts[position - 1][1] if position > 0 else None
+        nxt = insts[position + 1][1] if position + 1 < len(insts) else None
+        m = inst.mnemonic
+
+        if m in UNSAFE_OPS:
+            fail(index, f"unsafe instruction {m}")
+            continue
+
+        # Indirect branches.
+        star = [op for op in inst.operands
+                if isinstance(op, str) and op.startswith("*")]
+        if star:
+            if star[0] != "*%r15":
+                fail(index, f"indirect branch through unguarded {star[0]}")
+            elif prev is None or not _is_rebase(prev):
+                fail(index, "indirect branch without a guard+rebase")
+            continue
+
+        # r15 writes.
+        dest = inst.dest_reg()
+        if dest == SCRATCH:
+            if _is_guard_write(inst):
+                pass
+            elif _is_rebase(inst):
+                if prev is None or not _is_guard_write(prev):
+                    fail(index, "rebase without a preceding 32-bit guard")
+            else:
+                fail(index, f"%r15 modified by {m}")
+            continue
+
+        # rsp writes.
+        if dest == "rsp" and m not in ("push", "pushq", "pop", "popq",
+                                       "call", "ret", "callq", "retq"):
+            if m == "movl" and tuple(inst.operands) == ("%esp", "%esp"):
+                if nxt is None or not _is_rsp_guard_pair(inst, nxt):
+                    fail(index, "dangling rsp zero-extension")
+                continue
+            if m == "addq" and isinstance(inst.operands[0], MemRef) \
+                    and inst.operands[0].segment == "gs":
+                if prev is None or not _is_rsp_guard_pair(prev, inst):
+                    fail(index, "rsp rebase without zero-extension")
+                continue
+            small = (
+                m in ("addq", "subq", "add", "sub")
+                and isinstance(inst.operands[0], int)
+                and abs(inst.operands[0]) < _RSP_SMALL
+                and _rsp_ok_after(insts, position)
+            )
+            if not small and not (
+                nxt is not None and nxt.mnemonic == "movl"
+                and tuple(nxt.operands) == ("%esp", "%esp")
+            ):
+                fail(index, f"unsafe rsp modification: {inst}")
+            continue
+
+        # Memory operands.
+        mem = inst.mem
+        if mem is None or m.startswith("lea"):
+            continue
+        if mem.segment == "gs":
+            if mem.base == SCRATCH and mem.index is None:
+                if abs(mem.disp) >= _MAX_DISPLACEMENT:
+                    fail(index, f"displacement {mem.disp} exceeds guard "
+                                f"regions")
+                elif prev is None or not _is_guard_write(prev):
+                    fail(index, "gs access without a preceding guard")
+            elif mem.base is None and mem.index is None:
+                if not 0 <= mem.disp < _MAX_DISPLACEMENT:
+                    fail(index, "gs-absolute access out of table range")
+            else:
+                fail(index, f"unsafe gs addressing: {mem}")
+            continue
+        if mem.base in ("rsp", "rbp") and mem.index is None:
+            if abs(mem.disp) >= _MAX_DISPLACEMENT:
+                fail(index, f"stack displacement {mem.disp} too large")
+            continue
+        if mem.base is None and mem.index is None:
+            continue  # absolute (rodata) — covered by page permissions
+        fail(index, f"unguarded memory operand {mem}")
+
+    return violations
+
+
+def _rsp_ok_after(insts, position) -> bool:
+    for _, inst in insts[position + 1:]:
+        mem = inst.mem
+        if mem is not None and mem.base == "rsp" and mem.index is None:
+            return True
+        if inst.mnemonic in ("push", "pushq", "pop", "popq"):
+            return True
+        if inst.dest_reg() == "rsp" or inst.mnemonic.startswith("j") \
+                or inst.mnemonic in ("call", "callq", "ret", "retq"):
+            return False
+    return False

@@ -1,0 +1,119 @@
+"""ELF writer/reader tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arm64 import parse_assembly
+from repro.arm64.assembler import assemble
+from repro.elf import (
+    ElfError,
+    ElfImage,
+    ElfSegment,
+    PF_R,
+    PF_W,
+    PF_X,
+    build_elf,
+    read_elf,
+    write_elf,
+)
+
+
+def roundtrip(image):
+    return read_elf(write_elf(image))
+
+
+class TestFormat:
+    def test_roundtrip_basic(self):
+        image = ElfImage(
+            entry=0x40000,
+            segments=[
+                ElfSegment(0x40000, b"\x1f\x20\x03\xd5", 4, PF_R | PF_X),
+                ElfSegment(0x80000, b"hello", 16, PF_R | PF_W),
+            ],
+        )
+        out = roundtrip(image)
+        assert out.entry == 0x40000
+        assert len(out.segments) == 2
+        assert out.segments[0].data == b"\x1f\x20\x03\xd5"
+        assert out.segments[0].flags == PF_R | PF_X
+        assert out.segments[1].memsz == 16
+
+    def test_magic_checked(self):
+        with pytest.raises(ElfError):
+            read_elf(b"NOPE" + bytes(100))
+
+    def test_truncated(self):
+        with pytest.raises(ElfError):
+            read_elf(b"\x7fELF")
+
+    def test_memsz_validation(self):
+        with pytest.raises(ElfError):
+            ElfSegment(0, b"123456", 2, PF_R)
+
+    def test_text_property(self):
+        image = ElfImage(
+            entry=0,
+            segments=[
+                ElfSegment(0x1000 * 16, b"abcd", 4, PF_R | PF_X),
+                ElfSegment(0x2000 * 16, b"data", 4, PF_R | PF_W),
+            ],
+        )
+        assert image.text.vaddr == 0x1000 * 16
+
+    def test_segment_containing(self):
+        seg = ElfSegment(0x4000, b"", 0x1000, PF_R | PF_W)
+        image = ElfImage(entry=0, segments=[seg])
+        assert image.segment_containing(0x4800) is seg
+        with pytest.raises(ElfError):
+            image.segment_containing(0x9000)
+
+    @given(
+        st.integers(min_value=0, max_value=2**48 - 1),
+        st.binary(min_size=0, max_size=256),
+        st.integers(min_value=0, max_value=1024),
+    )
+    @settings(max_examples=50)
+    def test_property_roundtrip(self, entry, data, extra):
+        image = ElfImage(
+            entry=entry,
+            segments=[ElfSegment(0x4000, data, len(data) + extra, PF_R)],
+        )
+        out = roundtrip(image)
+        assert out.entry == entry
+        assert out.segments[0].data == data
+        assert out.segments[0].memsz == len(data) + extra
+
+
+class TestBuilder:
+    SRC = """
+    .text
+_start:
+    mov x0, #7
+    ret
+    .rodata
+msg: .asciz "hi"
+    .data
+counter: .quad 5
+    """
+
+    def test_build_from_assembly(self):
+        image = assemble(parse_assembly(self.SRC))
+        elf = build_elf(image)
+        flags = {seg.flags for seg in elf.segments}
+        assert PF_R | PF_X in flags  # text
+        assert PF_R in flags  # rodata
+        assert PF_R | PF_W in flags  # data
+        assert elf.entry == image.symbols["_start"]
+
+    def test_bss_extension(self):
+        image = assemble(parse_assembly(self.SRC))
+        elf = build_elf(image, bss_size=0x8000)
+        bss = [s for s in elf.segments if s.memsz > s.filesz]
+        assert bss and bss[0].memsz - bss[0].filesz == 0x8000
+
+    def test_roundtrip_through_bytes(self):
+        image = assemble(parse_assembly(self.SRC))
+        elf = roundtrip(build_elf(image))
+        text = elf.text
+        assert len(text.data) == 8  # two instructions

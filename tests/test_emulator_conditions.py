@@ -1,0 +1,178 @@
+"""Exhaustive condition-code and flag-semantics coverage for the emulator.
+
+Every one of the 14 usable ARM64 condition codes is checked against a
+Python oracle over signed/unsigned comparisons, via both ``cset`` and
+``b.cond`` — these drive the verifier-relevant control flow, so they must
+be exactly right.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from .conftest import run_asm
+from .test_emulator import regs_after
+
+U64 = 2**64
+
+
+def _cmp_flags(a, b):
+    """NZCV after ``cmp a, b`` (64-bit)."""
+    result = (a - b) % U64
+    n = result >> 63
+    z = 1 if result == 0 else 0
+    c = 1 if a >= b else 0  # no borrow
+    sa = a - U64 if a >> 63 else a
+    sb = b - U64 if b >> 63 else b
+    v = 1 if (sa - sb) != (result - U64 if result >> 63 else result) else 0
+    return n, z, c, v
+
+
+ORACLE = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "cs": lambda a, b: a >= b,  # unsigned >=
+    "cc": lambda a, b: a < b,  # unsigned <
+    "hi": lambda a, b: a > b,  # unsigned >
+    "ls": lambda a, b: a <= b,  # unsigned <=
+    "mi": lambda a, b: (a - b) % U64 >> 63 == 1,
+    "pl": lambda a, b: (a - b) % U64 >> 63 == 0,
+    "ge": lambda a, b: _signed(a) >= _signed(b),
+    "lt": lambda a, b: _signed(a) < _signed(b),
+    "gt": lambda a, b: _signed(a) > _signed(b),
+    "le": lambda a, b: _signed(a) <= _signed(b),
+    "vs": lambda a, b: _overflows(a, b),
+    "vc": lambda a, b: not _overflows(a, b),
+}
+
+
+def _signed(x):
+    return x - U64 if x >> 63 else x
+
+
+def _overflows(a, b):
+    diff = _signed(a) - _signed(b)
+    return not (-(2**63) <= diff < 2**63)
+
+
+def _load64(reg, value):
+    lines = [f"movz {reg}, #{value & 0xFFFF}"]
+    for shift in (16, 32, 48):
+        chunk = (value >> shift) & 0xFFFF
+        if chunk:
+            lines.append(f"movk {reg}, #{chunk}, lsl #{shift}")
+    return "\n ".join(lines)
+
+
+PAIRS = [
+    (0, 0),
+    (1, 0),
+    (0, 1),
+    (5, 5),
+    (2**63, 1),
+    (1, 2**63),
+    (2**63 - 1, 2**64 - 1),
+    (2**64 - 1, 1),
+    (2**63, 2**63),
+    (0x1234, 0xFFFF_FFFF_FFFF_0000),
+]
+
+
+class TestConditionCodes:
+    @pytest.mark.parametrize("cond", sorted(ORACLE))
+    @pytest.mark.parametrize("a,b", PAIRS)
+    def test_cset_matches_oracle(self, cond, a, b):
+        cpu = regs_after(
+            f"{_load64('x1', a)}\n {_load64('x2', b)}\n"
+            f" cmp x1, x2\n cset x0, {cond}"
+        )
+        assert cpu.regs[0] == int(ORACLE[cond](a, b)), (cond, a, b)
+
+    @pytest.mark.parametrize("cond", sorted(ORACLE))
+    def test_branch_agrees_with_cset(self, cond):
+        a, b = 7, 2**63 + 3
+        cpu = regs_after(
+            f"{_load64('x1', a)}\n {_load64('x2', b)}\n"
+            f" cmp x1, x2\n"
+            f" mov x0, #0\n"
+            f" b.{cond} taken\n"
+            f" b done\n"
+            f"taken: mov x0, #1\n"
+            f"done:"
+        )
+        assert cpu.regs[0] == int(ORACLE[cond](a, b))
+
+    @given(st.integers(min_value=0, max_value=U64 - 1),
+           st.integers(min_value=0, max_value=U64 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_unsigned_comparisons(self, a, b):
+        cpu = regs_after(
+            f"{_load64('x1', a)}\n {_load64('x2', b)}\n"
+            " cmp x1, x2\n cset x0, hi\n cset x3, ls\n"
+            " cset x4, cs\n cset x5, cc"
+        )
+        assert cpu.regs[0] == int(a > b)
+        assert cpu.regs[3] == int(a <= b)
+        assert cpu.regs[4] == int(a >= b)
+        assert cpu.regs[5] == int(a < b)
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1),
+           st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_signed_comparisons(self, sa, sb):
+        a, b = sa % U64, sb % U64
+        cpu = regs_after(
+            f"{_load64('x1', a)}\n {_load64('x2', b)}\n"
+            " cmp x1, x2\n cset x0, gt\n cset x3, le\n"
+            " cset x4, ge\n cset x5, lt"
+        )
+        assert cpu.regs[0] == int(sa > sb)
+        assert cpu.regs[3] == int(sa <= sb)
+        assert cpu.regs[4] == int(sa >= sb)
+        assert cpu.regs[5] == int(sa < sb)
+
+
+class TestFlagSetters:
+    def test_32bit_flags_differ_from_64bit(self):
+        # 0x1_0000_0000 - 1: zero in 32-bit arithmetic, nonzero in 64-bit.
+        cpu = regs_after(
+            "movz x1, #1, lsl #32\n subs w0, w1, #0\n cset x2, eq\n"
+            " subs x0, x1, #0\n cset x3, eq"
+        )
+        assert cpu.regs[2] == 1  # w-view of x1 is 0
+        assert cpu.regs[3] == 0
+
+    def test_ands_clears_cv(self):
+        cpu = regs_after(
+            "movn x0, #0\n adds x1, x0, x0\n"  # sets C
+            " ands x2, x0, x0\n cset x3, cs"
+        )
+        assert cpu.regs[3] == 0
+
+    def test_cmn(self):
+        cpu = regs_after("movn x0, #0\n cmn x0, #1\n cset x1, eq")
+        assert cpu.regs[1] == 1  # -1 + 1 == 0
+
+    def test_ccmp_taken_path(self):
+        cpu = regs_after(
+            "mov x0, #5\n cmp x0, #5\n"
+            " ccmp x0, #3, #0, eq\n"  # eq holds: flags = cmp(5, 3)
+            " cset x1, hi"
+        )
+        assert cpu.regs[1] == 1
+
+    def test_ccmp_untaken_uses_nzcv_imm(self):
+        cpu = regs_after(
+            "mov x0, #5\n cmp x0, #6\n"
+            " ccmp x0, #3, #4, eq\n"  # eq fails: NZCV = 0b0100 (Z)
+            " cset x1, eq"
+        )
+        assert cpu.regs[1] == 1
+
+    def test_fcmp_unordered_sets_c_and_v(self):
+        cpu = regs_after(
+            "movz x0, #0x7ff8, lsl #48\n fmov d0, x0\n"  # quiet NaN
+            " fmov d1, #1.0\n fcmp d0, d1\n"
+            " cset x1, vs\n cset x2, cs\n cset x3, eq"
+        )
+        assert cpu.regs[1] == 1 and cpu.regs[2] == 1 and cpu.regs[3] == 0

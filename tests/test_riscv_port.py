@@ -1,0 +1,168 @@
+"""Tests for the §7.2 RISC-V port design study."""
+
+import pytest
+
+from repro.riscv import (
+    RvRewriteError,
+    parse_riscv,
+    print_riscv,
+    rewrite_riscv,
+    verify_riscv,
+)
+from repro.riscv.isa import RvInstruction, reg_number
+from repro.riscv.rewriter import align_jump_targets
+
+
+def lines_of(text):
+    return [l.strip() for l in text.splitlines() if l.strip()]
+
+
+class TestIsa:
+    def test_abi_names(self):
+        assert reg_number("a0") == 10
+        assert reg_number("s11") == 27
+        assert reg_number("sp") == 2
+        assert reg_number("x17") == 17
+        assert reg_number("nope") is None
+
+    def test_parse_memory_operand(self):
+        program = parse_riscv("ld a0, 8(a1)\n")
+        inst = program.instructions()[0]
+        assert inst.mem == (8, 11)
+        assert inst.is_load
+
+    def test_compressed_size(self):
+        assert RvInstruction("c.addi", ("sp", "sp", "-16")).size == 2
+        assert RvInstruction("addi", ("sp", "sp", "-16")).size == 4
+
+    def test_roundtrip(self):
+        src = "f:\n\tld a0, 0(a1)\n\tadd a0, a0, a2\n\tret\n"
+        assert print_riscv(parse_riscv(src)) == src
+
+    def test_label_offsets_count_compressed(self):
+        src = "c.addi sp, sp, -16\nhere:\n ld a0, 0(sp)\n"
+        offsets = parse_riscv(src).label_offsets()
+        assert offsets["here"] == 2
+
+
+class TestRewriter:
+    def test_load_gets_zba_guard(self):
+        out = lines_of(rewrite_riscv("ld a0, 8(a1)\n"))
+        assert out == ["add.uw x27, x11, x26", "ld a0, 8(x27)"]
+
+    def test_store_gets_guard(self):
+        out = lines_of(rewrite_riscv("sd a0, 16(a2)\n"))
+        assert out == ["add.uw x27, x12, x26", "sd a0, 16(x27)"]
+
+    def test_sp_relative_free(self):
+        out = lines_of(rewrite_riscv("ld a0, 24(sp)\n"))
+        assert out == ["ld a0, 24(sp)"]
+
+    def test_jalr_guarded_and_aligned(self):
+        out = lines_of(rewrite_riscv("jalr ra, 0(a3)\n"))
+        assert out == [
+            "add.uw x27, x13, x26",
+            "andi x27, x27, -4",
+            "jalr ra, 0(x27)",
+        ]
+
+    def test_ret_untouched(self):
+        assert lines_of(rewrite_riscv("ret\n")) == ["ret"]
+
+    def test_sp_small_with_access_elided(self):
+        out = lines_of(rewrite_riscv("addi sp, sp, -32\n sd ra, 0(sp)\n"))
+        assert out == ["addi sp, sp, -32", "sd ra, 0(sp)"]
+
+    def test_sp_large_guarded(self):
+        out = lines_of(rewrite_riscv("addi sp, sp, -2032\n ret\n"))
+        assert out[:2] == ["addi sp, sp, -2032", "add.uw sp, sp, x26"]
+
+    def test_ra_restore_guarded(self):
+        out = lines_of(rewrite_riscv("ld ra, 8(sp)\n ret\n"))
+        assert out == ["ld ra, 8(sp)", "add.uw ra, ra, x26", "ret"]
+
+    def test_reserved_register_input_rejected(self):
+        with pytest.raises(RvRewriteError):
+            rewrite_riscv("add s11, s11, a0\n")
+        with pytest.raises(RvRewriteError):
+            rewrite_riscv("mv a0, s10\n")
+
+    def test_ecall_rejected(self):
+        with pytest.raises(RvRewriteError):
+            rewrite_riscv("ecall\n")
+
+
+class TestAlignment:
+    def test_misaligned_label_fixed_by_uncompression(self):
+        src = "c.addi sp, sp, -16\ntarget:\n ld a0, 0(sp)\n j target\n"
+        program = parse_riscv(src)
+        fixes = align_jump_targets(program)
+        assert fixes == 1
+        offsets = program.label_offsets()
+        assert offsets["target"] % 4 == 0
+        # The compressed addi was widened rather than padded.
+        assert program.instructions()[0].mnemonic == "addi"
+
+    def test_aligned_labels_untouched(self):
+        src = "addi sp, sp, -16\ntarget:\n ld a0, 0(sp)\n"
+        program = parse_riscv(src)
+        assert align_jump_targets(program) == 0
+
+    def test_two_compressed_in_a_row_kept(self):
+        """§7.2: side-by-side compressed pairs can stay compressed."""
+        src = "c.addi sp, sp, -16\nc.addi sp, sp, -16\nafter:\n sd ra, 0(sp)\n"
+        program = parse_riscv(src)
+        assert align_jump_targets(program) == 0
+        sizes = [i.size for i in program.instructions()]
+        assert sizes[:2] == [2, 2]
+
+    def test_rewriter_output_has_aligned_labels(self):
+        src = "c.addi sp, sp, -16\nloop:\n ld a0, 0(sp)\n bne a0, zero, loop\n"
+        out = rewrite_riscv(src)
+        assert not [v for v in verify_riscv(out) if "misaligned" in v.reason]
+
+
+class TestVerifier:
+    def assert_ok(self, src):
+        violations = verify_riscv(src)
+        assert not violations, violations
+
+    def assert_rejected(self, src, fragment):
+        violations = verify_riscv(src)
+        reasons = " | ".join(v.reason for v in violations)
+        assert fragment in reasons, reasons
+
+    def test_naked_load_rejected(self):
+        self.assert_rejected("ld a0, 0(a1)\n", "unguarded base")
+
+    def test_guarded_load_accepted(self):
+        self.assert_ok("add.uw x27, x11, x26\n ld a0, 0(x27)\n")
+
+    def test_base_write_rejected(self):
+        self.assert_rejected("mv s10, a0\n", "sandbox base")
+
+    def test_scratch_write_rejected(self):
+        self.assert_rejected("addi s11, s11, 8\n", "scratch register")
+
+    def test_unguarded_jalr_rejected(self):
+        self.assert_rejected("jalr ra, 0(a0)\n", "unguarded")
+
+    def test_ra_load_without_guard_rejected(self):
+        self.assert_rejected("ld ra, 0(sp)\n ret\n", "without a following")
+
+    def test_ecall_rejected(self):
+        self.assert_rejected("ecall\n", "unsafe instruction")
+
+    def test_misaligned_target_rejected(self):
+        self.assert_rejected(
+            "c.addi sp, sp, -16\nt:\n sd ra, 0(sp)\n", "misaligned"
+        )
+
+    @pytest.mark.parametrize("src", [
+        "ld a0, 8(a1)\n sd a0, 16(a2)\n",
+        "jalr ra, 0(a3)\n",
+        "addi sp, sp, -2032\n sd ra, 0(sp)\n ld ra, 0(sp)\n ret\n",
+        "c.addi sp, sp, -16\nloop:\n ld a0, 0(sp)\n bne a0, zero, loop\n",
+    ])
+    def test_rewrite_then_verify_property(self, src):
+        self.assert_ok(rewrite_riscv(src))

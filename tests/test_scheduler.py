@@ -1,0 +1,149 @@
+"""Unit tests for the scheduler, process state, and runtime-call table."""
+
+import struct
+
+import pytest
+
+from repro.memory import PAGE_SIZE, SandboxLayout
+from repro.runtime import (
+    Process,
+    ProcessState,
+    RuntimeCall,
+    Scheduler,
+    StdStream,
+    build_table_page,
+    entry_address,
+    table_offset,
+)
+from repro.runtime.table import (
+    HOST_ENTRY_BASE,
+    RUNTIME_REGION_BASE,
+    UNMAPPED_ENTRY,
+    call_for_entry,
+)
+
+
+def make_proc(pid):
+    return Process(
+        pid=pid,
+        layout=SandboxLayout.for_slot(pid),
+        registers={"regs": [0] * 31, "sp": 0, "pc": 0, "nzcv": 0,
+                   "vregs": [0] * 32},
+    )
+
+
+class TestScheduler:
+    def test_fifo_order(self):
+        sched = Scheduler()
+        a, b, c = make_proc(1), make_proc(2), make_proc(3)
+        for p in (a, b, c):
+            sched.add(p)
+        assert sched.pick() is a
+        assert sched.pick() is b
+        assert sched.pick() is c
+        assert sched.pick() is None
+
+    def test_requeue_goes_to_back(self):
+        sched = Scheduler()
+        a, b = make_proc(1), make_proc(2)
+        sched.add(a)
+        sched.add(b)
+        first = sched.pick()
+        sched.requeue(first)
+        assert sched.pick() is b
+        assert sched.pick() is a
+
+    def test_add_front(self):
+        sched = Scheduler()
+        a, b = make_proc(1), make_proc(2)
+        sched.add(a)
+        sched.add_front(b)
+        assert sched.pick() is b
+
+    def test_zombies_skipped(self):
+        sched = Scheduler()
+        a, b = make_proc(1), make_proc(2)
+        sched.add(a)
+        sched.add(b)
+        a.state = ProcessState.ZOMBIE
+        assert sched.pick() is b
+
+    def test_blocked_skipped(self):
+        sched = Scheduler()
+        a = make_proc(1)
+        sched.add(a)
+        a.state = ProcessState.BLOCKED
+        assert sched.pick() is None
+        assert sched.empty
+
+    def test_pick_marks_running(self):
+        sched = Scheduler()
+        a = make_proc(1)
+        sched.add(a)
+        assert a.state == ProcessState.READY
+        sched.pick()
+        assert a.state == ProcessState.RUNNING
+
+    def test_len_counts_ready_only(self):
+        sched = Scheduler()
+        a, b = make_proc(1), make_proc(2)
+        sched.add(a)
+        sched.add(b)
+        b.state = ProcessState.BLOCKED
+        assert len(sched) == 1
+
+
+class TestProcess:
+    def test_next_fd_fills_gaps(self):
+        proc = make_proc(1)
+        proc.fds = {0: StdStream(True), 1: StdStream(), 3: StdStream()}
+        assert proc.next_fd() == 2
+
+    def test_pointer_rebases_like_a_guard(self):
+        proc = make_proc(5)
+        stale = (9 << 32) | 0x1234
+        assert proc.pointer(stale) == proc.layout.base + 0x1234
+
+    def test_std_stream(self):
+        stream = StdStream()
+        stream.write(b"hello ")
+        stream.write(b"world")
+        assert stream.text() == "hello world"
+        stdin = StdStream(readable=True)
+        stdin.buffer.extend(b"input")
+        assert stdin.read(3) == b"inp"
+        assert stdin.read(10) == b"ut"
+
+
+class TestRuntimeCallTable:
+    def test_entry_addresses_outside_all_sandboxes(self):
+        """Entries point into the dedicated runtime region (§3, §4.4)."""
+        for call in RuntimeCall.ALL:
+            addr = entry_address(call)
+            assert addr >= RUNTIME_REGION_BASE
+
+    def test_roundtrip(self):
+        for call in RuntimeCall.ALL:
+            assert call_for_entry(entry_address(call)) == call
+
+    def test_table_page_layout(self):
+        page = build_table_page()
+        assert len(page) == PAGE_SIZE
+        for call in RuntimeCall.ALL:
+            slot = struct.unpack_from("<Q", page, table_offset(call))[0]
+            assert slot == entry_address(call)
+
+    def test_unused_entries_point_to_unmapped_page(self):
+        """§4.4: unused entries trap when called."""
+        page = build_table_page()
+        last = struct.unpack_from("<Q", page, PAGE_SIZE - 8)[0]
+        assert last == UNMAPPED_ENTRY
+
+    def test_table_has_no_sandbox_specific_secrets(self):
+        """§4.4: the table is readable by the neighbouring sandbox, so it
+        must be identical for every sandbox (and it is: one shared page
+        image)."""
+        assert build_table_page() == build_table_page()
+
+    def test_call_names_complete(self):
+        assert set(RuntimeCall.NAMES) == set(RuntimeCall.ALL)

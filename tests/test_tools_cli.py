@@ -1,0 +1,124 @@
+"""Tests for the command-line toolchain (repro.tools)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.tools import main
+from repro.workloads.rtlib import prologue, rt_exit
+
+HELLO = prologue() + "    mov x0, #7\n" + rt_exit()
+UNSAFE = prologue() + "    ldr x0, [x1]\n" + rt_exit()
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(HELLO)
+    return path
+
+
+@pytest.fixture
+def unsafe_asm(tmp_path):
+    path = tmp_path / "unsafe.s"
+    path.write_text(UNSAFE)
+    return path
+
+
+class TestRewrite:
+    def test_rewrite_to_file(self, tmp_path, unsafe_asm):
+        out = tmp_path / "out.s"
+        assert main(["rewrite", str(unsafe_asm), "-o", str(out)]) == 0
+        text = out.read_text()
+        assert "[x21, w1, uxtw]" in text
+
+    def test_rewrite_o0(self, tmp_path, unsafe_asm):
+        out = tmp_path / "o0.s"
+        assert main(["rewrite", str(unsafe_asm), "-O", "O0",
+                     "-o", str(out)]) == 0
+        assert "add x18, x21, w1, uxtw" in out.read_text()
+
+    def test_rewrite_rejects_svc(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("svc #0\n")
+        assert main(["rewrite", str(bad)]) == 1
+        assert "rewrite error" in capsys.readouterr().err
+
+    def test_stdout_output(self, unsafe_asm, capsys):
+        assert main(["rewrite", str(unsafe_asm)]) == 0
+        assert "uxtw" in capsys.readouterr().out
+
+
+class TestCompileVerifyRun:
+    def test_pipeline(self, tmp_path, asm_file, capsys):
+        elf = tmp_path / "prog.elf"
+        assert main(["compile", str(asm_file), "-o", str(elf)]) == 0
+        assert elf.read_bytes()[:4] == b"\x7fELF"
+
+        assert main(["verify", str(elf)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        code = main(["run", str(elf)])
+        assert code == 7
+
+    def test_native_compile_fails_verification(self, tmp_path, unsafe_asm,
+                                               capsys):
+        elf = tmp_path / "native.elf"
+        assert main(["compile", str(unsafe_asm), "--native",
+                     "-o", str(elf)]) == 0
+        assert main(["verify", str(elf)]) == 1
+        assert "unguarded base" in capsys.readouterr().err
+
+    def test_run_unverified_native(self, tmp_path, asm_file):
+        elf = tmp_path / "n.elf"
+        main(["compile", str(asm_file), "--native", "-o", str(elf)])
+        assert main(["run", str(elf), "--unsafe-no-verify"]) == 7
+
+    def test_run_with_machine_model(self, tmp_path, asm_file, capsys):
+        elf = tmp_path / "m.elf"
+        main(["compile", str(asm_file), "-o", str(elf)])
+        assert main(["run", str(elf), "--machine", "apple-m1",
+                     "--stats"]) == 7
+        assert "cycles" in capsys.readouterr().err
+
+    def test_verify_no_loads_policy(self, tmp_path, unsafe_asm):
+        elf = tmp_path / "nl.elf"
+        main(["compile", str(unsafe_asm), "--native", "-o", str(elf)])
+        assert main(["verify", str(elf), "--no-loads"]) == 0
+
+    def test_verify_spectre_policy(self, tmp_path, capsys):
+        src = tmp_path / "x.s"
+        src.write_text("add x18, x21, w1, uxtw\n ldxr x0, [x18]\n ret\n")
+        elf = tmp_path / "x.elf"
+        main(["compile", str(src), "--native", "-o", str(elf)])
+        assert main(["verify", str(elf)]) == 0
+        assert main(["verify", str(elf), "--no-exclusives"]) == 1
+
+
+class TestDisasm:
+    def test_disassembly_output(self, tmp_path, asm_file, capsys):
+        elf = tmp_path / "prog.elf"
+        main(["compile", str(asm_file), "-o", str(elf)])
+        assert main(["disasm", str(elf)]) == 0
+        out = capsys.readouterr().out
+        assert "blr x30" in out
+        assert "movz x0, #7" in out
+
+
+class TestModuleEntry:
+    def test_python_dash_m(self, tmp_path):
+        src = tmp_path / "p.s"
+        src.write_text(HELLO)
+        elf = tmp_path / "p.elf"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools", "compile", str(src),
+             "-o", str(elf)],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools", "run", str(elf)],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 7

@@ -1,0 +1,311 @@
+"""Verifier tests: every class of attack the paper's §5.2 rules must stop.
+
+The attack programs are assembled directly (bypassing the rewriter, as a
+malicious toolchain would) and must be rejected with the right reason.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arm64 import parse_assembly
+from repro.arm64.assembler import assemble
+from repro.core import (
+    O2,
+    VerificationError,
+    Verifier,
+    VerifierPolicy,
+    rewrite_program,
+    verify_elf,
+    verify_text,
+)
+from repro.elf import build_elf
+
+
+def verify_src(src, policy=None):
+    image = assemble(parse_assembly(src))
+    return verify_text(bytes(image.text.data), image.text.base, policy)
+
+
+def assert_rejected(src, fragment, policy=None):
+    result = verify_src(src, policy)
+    assert not result.ok, f"expected rejection: {src!r}"
+    reasons = " | ".join(v.reason for v in result.violations)
+    assert fragment in reasons, f"wanted {fragment!r} in {reasons!r}"
+
+
+def assert_accepted(src, policy=None):
+    result = verify_src(src, policy)
+    assert result.ok, "; ".join(str(v) for v in result.violations)
+
+
+class TestUnsafeAddressing:
+    def test_naked_load(self):
+        assert_rejected("ldr x0, [x1]", "unguarded base")
+
+    def test_naked_store(self):
+        assert_rejected("str x0, [x1, #8]", "unguarded base")
+
+    def test_naked_pair(self):
+        assert_rejected("ldp x0, x1, [x2]", "unguarded base")
+
+    def test_register_offset_from_sp(self):
+        assert_rejected("ldr x0, [sp, x1]", "register-offset addressing from sp")
+
+    def test_register_offset_from_scratch(self):
+        assert_rejected("ldr x0, [x18, x1]", "register-offset addressing")
+
+    def test_writeback_on_scratch(self):
+        assert_rejected("ldr x0, [x18], #8", "writeback would modify")
+
+    def test_writeback_on_hoist_register(self):
+        assert_rejected("ldr x0, [x23, #8]!", "writeback would modify")
+
+    def test_x21_sxtw_escape(self):
+        # sxtw can go negative: addr = x21 + sx(w1) can exit the sandbox.
+        assert_rejected("ldr x0, [x21, w1, sxtw]", "unsafe extend")
+
+    def test_x21_shifted_uxtw_escape(self):
+        # uxtw #3 reaches 8 * 4GiB past the base.
+        assert_rejected("ldr x0, [x21, w1, uxtw #3]", "unsafe extend")
+
+    def test_store_through_table(self):
+        assert_rejected("str x0, [x21, #8]", "read-only")
+
+    def test_safe_forms_accepted(self):
+        assert_accepted(
+            """
+            ldr x0, [x21, w1, uxtw]
+            str x0, [x21, w2, uxtw]
+            ldr x0, [x18]
+            ldr x0, [x18, #32]
+            str x0, [x23, #8]
+            ldr x0, [x24, #-16]
+            ldr x0, [sp, #64]
+            stp x29, x30, [sp, #-16]!
+            ldr x5, [x21, #128]
+            """
+        )
+
+
+class TestReservedRegisters:
+    def test_write_to_base(self):
+        assert_rejected("mov x21, #0", "x21")
+
+    def test_write_to_base_32bit(self):
+        assert_rejected("mov w21, #0", "x21")
+
+    def test_arith_on_scratch(self):
+        assert_rejected("add x18, x18, #8", "x18 modified")
+
+    def test_hoist_reg_add_wrong_base(self):
+        # add x23, x20, w1, uxtw guards against the WRONG base register.
+        assert_rejected("add x23, x20, w1, uxtw", "x23 modified")
+
+    def test_guard_with_shift_rejected(self):
+        assert_rejected("add x18, x21, w1, uxtw #2", "x18 modified")
+
+    def test_64bit_write_to_x22(self):
+        assert_rejected("mov x22, x1", "x22")
+
+    def test_32bit_write_to_x22_allowed(self):
+        assert_accepted("mov w22, w1")
+        assert_accepted("add w22, w1, #8")
+
+    def test_guards_accepted(self):
+        assert_accepted(
+            """
+            add x18, x21, w1, uxtw
+            add x23, x21, w9, uxtw
+            add x24, x21, w22, uxtw
+            add x30, x21, w30, uxtw
+            """
+        )
+
+    def test_load_into_scratch(self):
+        assert_rejected("ldr x18, [sp]", "reserved register x18")
+
+    def test_load_into_base(self):
+        assert_rejected("ldr x21, [sp]", "x21")
+
+    def test_stxr_status_into_reserved(self):
+        assert_rejected("stxr w18, x0, [x23]", "reserved register x18")
+
+
+class TestStackPointer:
+    def test_sp_guard_accepted(self):
+        assert_accepted("mov w22, wsp\n add sp, x21, x22")
+
+    def test_mov_sp_from_register_rejected(self):
+        assert_rejected("mov sp, x0", "unsafe sp modification")
+
+    def test_small_arith_with_access(self):
+        assert_accepted("sub sp, sp, #32\n str x0, [sp]")
+
+    def test_small_arith_without_access(self):
+        assert_rejected("sub sp, sp, #32\n ret", "without a following sp access")
+
+    def test_small_arith_access_after_branch_rejected(self):
+        assert_rejected(
+            "sub sp, sp, #32\n b over\nover: str x0, [sp]",
+            "without a following sp access",
+        )
+
+    def test_large_arith_rejected_even_with_access(self):
+        assert_rejected("sub sp, sp, #2048\n str x0, [sp]",
+                        "unsafe sp modification")
+
+    def test_sp_add_register_rejected(self):
+        assert_rejected("add sp, sp, x1", "unsafe sp modification")
+
+    def test_another_sp_write_interrupts_scan(self):
+        src = """
+        sub sp, sp, #16
+        sub sp, sp, #16
+        str x0, [sp]
+        """
+        # The first sub's scan hits the second sp write before an access.
+        result = verify_src(src)
+        assert not result.ok
+
+
+class TestLinkRegister:
+    def test_restore_with_guard(self):
+        assert_accepted("ldr x30, [sp, #8]\n add x30, x21, w30, uxtw\n ret")
+
+    def test_restore_without_guard(self):
+        assert_rejected("ldr x30, [sp, #8]\n ret", "link-register guard")
+
+    def test_mov_with_following_guard(self):
+        assert_accepted("mov x30, x9\n add x30, x21, w30, uxtw")
+
+    def test_mov_without_guard(self):
+        assert_rejected("mov x30, x9\n ret", "x30 modified")
+
+    def test_adr_into_x30_rejected(self):
+        assert_rejected("adr x30, target\ntarget: ret", "x30 modified")
+
+    def test_runtime_call_idiom(self):
+        assert_accepted("ldr x30, [x21, #16]\n blr x30")
+
+    def test_table_load_without_blr(self):
+        assert_rejected("ldr x30, [x21, #16]\n ret", "link-register guard")
+
+    def test_table_load_then_br_rejected(self):
+        # Only blr x30 resets the invariant (§4.4).
+        assert_rejected("ldr x30, [x21, #16]\n br x30", "link-register guard")
+
+
+class TestIndirectBranches:
+    def test_br_unguarded(self):
+        assert_rejected("br x0", "unguarded register")
+
+    def test_blr_unguarded(self):
+        assert_rejected("blr x7", "unguarded register")
+
+    def test_ret_other_register(self):
+        assert_rejected("ret x5", "unguarded register")
+
+    def test_br_through_guarded(self):
+        assert_accepted("add x18, x21, w0, uxtw\n br x18")
+        assert_accepted("ret")
+        assert_accepted("add x23, x21, w0, uxtw\n blr x23")
+
+
+class TestUnsafeInstructions:
+    def test_svc(self):
+        assert_rejected("svc #0", "safe list")
+
+    def test_hlt(self):
+        assert_rejected("hlt #0", "safe list")
+
+    def test_undecodable(self):
+        result = verify_text(struct.pack("<I", 0xD51B4200))  # msr
+        assert not result.ok
+        assert "undecodable" in result.violations[0].reason
+
+    def test_arbitrary_data_rejected(self):
+        result = verify_text(b"\xff" * 16)
+        assert not result.ok
+
+    def test_misaligned_text(self):
+        result = verify_text(b"\x1f\x20\x03\xd5\x00")
+        assert not result.ok
+
+    def test_spectre_hardening_rejects_exclusives(self):
+        """§7.1: LL/SC can be disallowed by policy to stop timerless
+        side-channel attacks."""
+        policy = VerifierPolicy(allow_exclusives=False)
+        assert_rejected("add x18, x21, w1, uxtw\n ldxr x0, [x18]",
+                        "disallowed by policy", policy)
+        assert_rejected("add x18, x21, w1, uxtw\n ldar x0, [x18]",
+                        "disallowed by policy", policy)
+
+    def test_exclusives_allowed_by_default(self):
+        assert_accepted("add x18, x21, w1, uxtw\n ldxr x0, [x18]")
+
+
+class TestNoLoadsPolicy:
+    POLICY = VerifierPolicy(sandbox_loads=False)
+
+    def test_naked_load_allowed(self):
+        assert_accepted("ldr x0, [x1]", self.POLICY)
+
+    def test_naked_store_still_rejected(self):
+        assert_rejected("str x0, [x1]", "unguarded base", self.POLICY)
+
+    def test_load_into_reserved_still_rejected(self):
+        assert_rejected("ldr x18, [x1]", "reserved register", self.POLICY)
+
+    def test_x30_load_still_needs_guard(self):
+        assert_rejected("ldr x30, [x1]\n ret", "link-register guard",
+                        self.POLICY)
+
+
+class TestElfVerification:
+    def test_verify_elf_all_exec_segments(self):
+        src = "_start:\n add x18, x21, w0, uxtw\n ldr x1, [x18]\n ret\n"
+        image = assemble(parse_assembly(src))
+        result = verify_elf(build_elf(image))
+        assert result.ok
+        assert result.instructions == 3
+
+    def test_verify_elf_rejects_bad_text(self):
+        src = "_start:\n ldr x1, [x0]\n ret\n"
+        image = assemble(parse_assembly(src))
+        result = verify_elf(build_elf(image))
+        assert not result.ok
+
+    def test_raise_if_failed(self):
+        src = "_start:\n ldr x1, [x0]\n ret\n"
+        image = assemble(parse_assembly(src))
+        result = verify_elf(build_elf(image))
+        with pytest.raises(VerificationError):
+            result.raise_if_failed()
+
+    def test_data_segments_not_verified(self):
+        """Only executable segments are checked (hardware W^X covers data)."""
+        src = "_start:\n ret\n.data\n .word 0xdeadbeef\n"
+        image = assemble(parse_assembly(src))
+        result = verify_elf(build_elf(image))
+        assert result.ok
+
+
+class TestVerifierRobustness:
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_never_crashes_on_garbage(self, data):
+        data = data[: len(data) - len(data) % 4]
+        verify_text(data)  # must not raise
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=500, deadline=None)
+    def test_single_word_never_crashes(self, word):
+        verify_text(struct.pack("<I", word))
+
+    def test_counts(self):
+        result = verify_src("nop\n nop\n ret")
+        assert result.instructions == 3
+        assert result.bytes_verified == 12

@@ -1,0 +1,179 @@
+"""Tests for the §7.2 x86-64 port design study."""
+
+import pytest
+
+from repro.x86 import (
+    X86RewriteError,
+    parse_x86,
+    print_x86,
+    rewrite_x86,
+    verify_x86,
+)
+from repro.x86.isa import MemRef, reg64_of
+
+
+def lines_of(text):
+    return [l.strip() for l in text.splitlines()
+            if l.strip() and not l.strip().startswith(".")]
+
+
+class TestIsa:
+    def test_reg_canonicalization(self):
+        assert reg64_of("%eax") == "rax"
+        assert reg64_of("%r15d") == "r15"
+        assert reg64_of("%rsp") == "rsp"
+        assert reg64_of("%nope") is None
+
+    def test_parse_memory_operand(self):
+        program = parse_x86("movq 8(%rdi), %rax\n")
+        inst = program.instructions()[0]
+        assert inst.mem == MemRef(disp=8, base="rdi")
+
+    def test_parse_indexed(self):
+        program = parse_x86("movq 16(%rdi, %rsi, 8), %rax\n")
+        assert program.instructions()[0].mem == MemRef(
+            disp=16, base="rdi", index="rsi", scale=8
+        )
+
+    def test_parse_gs_segment(self):
+        program = parse_x86("movq %gs:8(%r15), %rax\n")
+        mem = program.instructions()[0].mem
+        assert mem.segment == "gs" and mem.base == "r15" and mem.disp == 8
+
+    def test_gs_absolute(self):
+        program = parse_x86("addq %gs:0, %r15\n")
+        mem = program.instructions()[0].mem
+        assert mem.segment == "gs" and mem.base is None and mem.disp == 0
+
+    def test_roundtrip(self):
+        src = "f:\n\tmovq 8(%rdi), %rax\n\tret\n"
+        assert print_x86(parse_x86(src)) == src
+
+
+class TestRewriter:
+    def test_load_guarded_through_gs(self):
+        out = lines_of(rewrite_x86("movq 8(%rdi), %rax\n"))
+        assert out == [
+            "movl %edi, %r15d",
+            "movq %gs:8(%r15), %rax",
+        ]
+
+    def test_store_guarded(self):
+        out = lines_of(rewrite_x86("movq %rax, 16(%rsi)\n"))
+        assert out == [
+            "movl %esi, %r15d",
+            "movq %rax, %gs:16(%r15)",
+        ]
+
+    def test_indexed_access_folded_with_lea(self):
+        out = lines_of(rewrite_x86("movq (%rdi, %rsi, 8), %rax\n"))
+        assert out == [
+            "leal (%rdi, %rsi, 8), %r15d",
+            "movq %gs:(%r15), %rax",
+        ]
+
+    def test_rsp_relative_free(self):
+        out = lines_of(rewrite_x86("movq 24(%rsp), %rax\n"))
+        assert out == ["movq 24(%rsp), %rax"]
+
+    def test_push_pop_free(self):
+        out = lines_of(rewrite_x86("push %rbp\n pop %rbp\n"))
+        assert out == ["push %rbp", "pop %rbp"]
+
+    def test_indirect_jump_guard_and_rebase(self):
+        out = lines_of(rewrite_x86("jmp *%rax\n"))
+        assert out == [
+            "movl %eax, %r15d",
+            "addq %gs:0, %r15",
+            "jmp *%r15",
+        ]
+
+    def test_indirect_call(self):
+        out = lines_of(rewrite_x86("call *%rdx\n"))
+        assert out[-1] == "call *%r15"
+
+    def test_function_labels_get_endbr64(self):
+        out = rewrite_x86("func:\n ret\n.Llocal:\n ret\n")
+        lines = lines_of(out)
+        assert lines[lines.index("func:") + 1] == "endbr64"
+        assert ".Llocal:" in out
+        # Local labels don't need landing pads.
+        idx = [l.strip() for l in out.splitlines()].index(".Llocal:")
+        assert "endbr64" not in out.splitlines()[idx + 1]
+
+    def test_rsp_small_with_access_elided(self):
+        out = lines_of(rewrite_x86("subq $32, %rsp\n movq %rax, (%rsp)\n"))
+        assert out == ["subq $32, %rsp", "movq %rax, (%rsp)"]
+
+    def test_rsp_large_guarded(self):
+        out = lines_of(rewrite_x86("subq $4096, %rsp\n ret\n"))
+        assert out[:3] == ["subq $4096, %rsp", "movl %esp, %esp",
+                           "addq %gs:0, %rsp"]
+
+    def test_r15_in_input_rejected(self):
+        with pytest.raises(X86RewriteError):
+            rewrite_x86("movq %r15, %rax\n")
+
+    def test_syscall_rejected(self):
+        with pytest.raises(X86RewriteError):
+            rewrite_x86("syscall\n")
+
+    def test_gs_in_input_rejected(self):
+        with pytest.raises(X86RewriteError):
+            rewrite_x86("movq %gs:8(%rax), %rbx\n")
+
+
+class TestVerifier:
+    def assert_ok(self, src):
+        violations = verify_x86(src)
+        assert not violations, violations
+
+    def assert_rejected(self, src, fragment):
+        reasons = " | ".join(v.reason for v in verify_x86(src))
+        assert fragment in reasons, reasons
+
+    def test_naked_access_rejected(self):
+        self.assert_rejected("movq 8(%rdi), %rax\n", "unguarded memory")
+
+    def test_guarded_access_accepted(self):
+        self.assert_ok("movl %edi, %r15d\n movq %gs:8(%r15), %rax\n")
+
+    def test_gs_without_guard_rejected(self):
+        self.assert_rejected("movq %gs:8(%r15), %rax\n",
+                             "without a preceding guard")
+
+    def test_r15_64bit_write_rejected(self):
+        self.assert_rejected("movq %rax, %r15\n", "%r15 modified")
+
+    def test_rebase_needs_guard_before(self):
+        self.assert_rejected("addq %gs:0, %r15\n", "without a preceding")
+
+    def test_indirect_branch_needs_rebase(self):
+        self.assert_rejected("movl %eax, %r15d\n jmp *%r15\n",
+                             "without a guard+rebase")
+        self.assert_ok(
+            "movl %eax, %r15d\n addq %gs:0, %r15\n jmp *%r15\n"
+        )
+
+    def test_indirect_through_other_register(self):
+        self.assert_rejected("jmp *%rax\n", "unguarded")
+
+    def test_missing_endbr64(self):
+        self.assert_rejected("func:\n ret\n", "endbr64")
+
+    def test_unsafe_rsp(self):
+        self.assert_rejected("movq %rax, %rsp\n ret\n",
+                             "unsafe rsp modification")
+
+    def test_syscall_rejected(self):
+        self.assert_rejected("syscall\n", "unsafe instruction")
+
+    @pytest.mark.parametrize("src", [
+        "f:\n movq 8(%rdi), %rax\n movq %rax, (%rsi)\n ret\n",
+        "f:\n jmp *%rax\n",
+        "f:\n subq $4096, %rsp\n movq %rax, (%rsp)\n ret\n",
+        "f:\n movq (%rdi, %rsi, 8), %rax\n ret\n",
+        "f:\n push %rbp\n movq 16(%rsp), %rax\n pop %rbp\n ret\n",
+    ])
+    def test_rewrite_then_verify_property(self, src):
+        self.assert_ok(rewrite_x86(src))
