@@ -204,6 +204,11 @@ class Machine:
         self._decode_cache: Dict[int, Tuple[Instruction, Callable, str,
                                             Tuple, Tuple]] = {}
         self._host_entries: Dict[int, object] = {}
+        #: Optional hook called at the top of every :meth:`run` slice with
+        #: ``(machine, fuel)``.  Fault injectors use it to corrupt state or
+        #: force traps at deterministic points; raising a :class:`Trap`
+        #: here is delivered to the runtime like any hardware trap.
+        self.run_hook: Optional[Callable[["Machine", Optional[int]], None]] = None
         self._exec = _build_dispatch(self)
 
     # -- host integration ----------------------------------------------------
@@ -287,6 +292,8 @@ class Machine:
 
     def run(self, fuel: Optional[int] = None) -> None:
         """Run until a trap; raises OutOfFuel when the budget is exhausted."""
+        if self.run_hook is not None:
+            self.run_hook(self, fuel)
         step = self.step
         if fuel is None:
             while True:

@@ -72,6 +72,10 @@ class PagedMemory:
         #: (single-address-space copy-on-write fork, paper §5.3).
         self._cow: set = set()
         self.cow_copies = 0
+        #: Optional callback ``(address, size)`` invoked on every
+        #: permission-checked write.  The containment auditor uses it to
+        #: attribute stores to the sandbox that issued them.
+        self.write_observer = None
 
     # -- mapping -----------------------------------------------------------
 
@@ -134,6 +138,15 @@ class PagedMemory:
     def is_mapped(self, address: int) -> bool:
         return (address // self.page_size) in self._pages
 
+    def pages_in_range(self, lo: int, hi: int) -> int:
+        """Number of mapped pages whose base lies in ``[lo, hi)``.
+
+        Used by the runtime to enforce per-sandbox mapped-page quotas at
+        the memory boundary.
+        """
+        ps = self.page_size
+        return sum(1 for page in self._pages if lo <= page * ps < hi)
+
     def perms_at(self, address: int) -> int:
         return self._perms.get(address // self.page_size, PERM_NONE)
 
@@ -172,6 +185,8 @@ class PagedMemory:
 
     def write(self, address: int, data: bytes) -> None:
         self._check(address, len(data), PERM_W, "write")
+        if self.write_observer is not None:
+            self.write_observer(address, len(data))
         if self._cow:
             self._break_cow(address // self.page_size,
                             (address + len(data) - 1) // self.page_size)

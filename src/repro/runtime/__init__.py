@@ -6,6 +6,7 @@ from .runtime import (
     CALL_OVERHEAD_CYCLES,
     Deadlock,
     ProcessFault,
+    ResourceQuota,
     Runtime,
     RuntimeError_,
     YIELD_CYCLES,
@@ -37,6 +38,7 @@ __all__ = [
     "YIELD_CYCLES",
     "Deadlock",
     "ProcessFault",
+    "ResourceQuota",
     "Runtime",
     "RuntimeError_",
     "Scheduler",

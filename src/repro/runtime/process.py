@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from ..memory.layout import SandboxLayout
-from .vfs import FileHandle, PipeEnd
+from .vfs import FileHandle, Pipe, PipeEnd
 
 __all__ = ["Process", "ProcessState"]
 
@@ -61,6 +61,10 @@ class Process:
     block_reason: Optional[str] = None
     #: Pending blocked operation arguments (retried when unblocked).
     block_args: Optional[tuple] = None
+    #: The pipe a call-blocked process is waiting on, if any.  Lets
+    #: ``wake_pipe_waiters`` retry only the processes actually blocked on
+    #: that pipe instead of thundering-herd retrying everything.
+    block_pipe: Optional[Pipe] = None
     #: Total instructions retired while this process was scheduled.
     instructions: int = 0
 

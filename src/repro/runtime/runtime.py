@@ -18,7 +18,7 @@ source of LFI's context-switch advantage (§6.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..core.verifier import VerifierPolicy
 from ..elf.format import ElfImage, read_elf
@@ -43,7 +43,8 @@ from .syscalls import BLOCK, EXITED, HANDLERS, SWITCH
 from .table import RuntimeCall, call_for_entry, entry_address
 from .vfs import Pipe, PipeEnd, Vfs
 
-__all__ = ["Runtime", "RuntimeError_", "Deadlock", "ProcessFault"]
+__all__ = ["Runtime", "RuntimeError_", "Deadlock", "ProcessFault",
+           "ResourceQuota"]
 
 _MASK64 = (1 << 64) - 1
 
@@ -75,6 +76,20 @@ class ProcessFault:
     pc: int
 
 
+@dataclass(frozen=True)
+class ResourceQuota:
+    """Per-sandbox resource limits enforced by the runtime (§5.3).
+
+    ``None`` for any field means unlimited.  Mapped pages are counted in
+    the sandbox's 4GiB slot at the :class:`PagedMemory` boundary; fd slots
+    at the :class:`Vfs` boundary; instructions cumulatively per process.
+    """
+
+    max_mapped_pages: Optional[int] = None
+    max_fds: Optional[int] = None
+    max_instructions: Optional[int] = None
+
+
 class Runtime:
     """One runtime instance owning an address space and its sandboxes."""
 
@@ -98,6 +113,17 @@ class Runtime:
         self._mmap_cursors: Dict[int, int] = {}
         #: Per-pid pending blocked runtime call number.
         self._pending_call: Dict[int, int] = {}
+        #: Per-pid resource quotas (set by a supervisor; inherited on fork).
+        self.quotas: Dict[int, ResourceQuota] = {}
+        #: Optional hook consulted before every runtime-call dispatch with
+        #: ``(proc, call)``.  Returning an ``int`` short-circuits the
+        #: handler with that result — the fault injector uses this for
+        #: transient EINTR/ENOMEM-style errors.
+        self.call_hook: Optional[Callable[[Process, int], Optional[int]]] = None
+        #: True while the machine is executing sandbox code (as opposed to
+        #: host-side runtime work); used by the containment auditor to
+        #: attribute memory writes.
+        self._in_guest = False
         for call in RuntimeCall.ALL:
             self.machine.register_host_entry(entry_address(call), call)
 
@@ -129,6 +155,30 @@ class Runtime:
         self.scheduler.add(proc)
         return proc
 
+    # -- resource quotas -----------------------------------------------------------
+
+    def set_quota(self, proc: Process, quota: Optional[ResourceQuota]) -> None:
+        """Attach (or clear) a resource quota for ``proc``."""
+        if quota is None:
+            self.quotas.pop(proc.pid, None)
+        else:
+            self.quotas[proc.pid] = quota
+
+    def fd_slots_free(self, proc: Process, count: int = 1) -> bool:
+        """Whether ``proc`` may allocate ``count`` more fd-table slots."""
+        quota = self.quotas.get(proc.pid)
+        if quota is None or quota.max_fds is None:
+            return True
+        return len(proc.fds) + count <= quota.max_fds
+
+    def pages_quota_allows(self, proc: Process, new_pages: int) -> bool:
+        """Whether mapping ``new_pages`` more pages stays within quota."""
+        quota = self.quotas.get(proc.pid)
+        if quota is None or quota.max_mapped_pages is None:
+            return True
+        used = self.memory.pages_in_range(proc.layout.base, proc.layout.end)
+        return used + new_pages <= quota.max_mapped_pages
+
     # -- state switching -----------------------------------------------------------
 
     def _switch_to(self, proc: Process) -> None:
@@ -149,6 +199,8 @@ class Runtime:
     def terminate(self, proc: Process, code: int) -> None:
         proc.state = ProcessState.ZOMBIE
         proc.exit_code = code
+        proc.block_pipe = None
+        self._pending_call.pop(proc.pid, None)
         # Close pipe ends (waking peers) but keep std streams readable so
         # the host can collect output after exit.
         for fd, obj in list(proc.fds.items()):
@@ -217,6 +269,11 @@ class Runtime:
             state=ProcessState.READY,
         )
         child.fds = dict(parent.fds)  # shared descriptions, like Unix
+        for obj in child.fds.values():
+            if isinstance(obj, PipeEnd):
+                obj.retain()  # the child's table is a second referent
+        if parent.pid in self.quotas:
+            self.quotas[pid] = self.quotas[parent.pid]
         self.processes[pid] = child
         parent.children.append(pid)
         self.scheduler.add(child)
@@ -236,15 +293,18 @@ class Runtime:
     # -- blocking -----------------------------------------------------------------
 
     def wake_pipe_waiters(self, pipe: Pipe) -> None:
+        """Retry only the processes actually blocked on ``pipe``."""
         for proc in list(self.processes.values()):
             if proc.state == ProcessState.BLOCKED \
-                    and proc.block_reason == "call":
+                    and proc.block_reason == "call" \
+                    and proc.block_pipe is pipe:
                 self._retry_blocked(proc)
 
     def _retry_blocked(self, proc: Process) -> None:
         call = self._pending_call.get(proc.pid)
         if call is None:
             return
+        proc.block_pipe = None  # the handler re-records it if still blocked
         result = HANDLERS[call](self, proc)
         if result is BLOCK:
             return
@@ -266,6 +326,13 @@ class Runtime:
         if handler is None:
             self._fault(proc, "badcall", f"unknown runtime call {call}")
             return
+        if self.call_hook is not None:
+            injected = self.call_hook(proc, call)
+            if injected is not None:
+                self.complete_call(proc, injected)
+                self.scheduler.add_front(proc)
+                return
+        proc.block_pipe = None
         result = handler(self, proc)
         if result is BLOCK:
             proc.state = ProcessState.BLOCKED
@@ -277,11 +344,12 @@ class Runtime:
         self.complete_call(proc, result)
         self.scheduler.add_front(proc)
 
-    def _fault(self, proc: Process, kind: str, detail: str) -> None:
+    def _fault(self, proc: Process, kind: str, detail: str,
+               status: int = 128 + 11) -> None:
         self.faults.append(
             ProcessFault(proc.pid, kind, detail, proc.registers.get("pc", 0))
         )
-        self.terminate(proc, 128 + 11)  # SIGSEGV-style status
+        self.terminate(proc, status)  # SIGSEGV-style status by default
 
     # -- main loop -----------------------------------------------------------------
 
@@ -335,7 +403,11 @@ class Runtime:
         self._switch_to(proc)
         before = self.machine.instret
         try:
-            self.machine.run(fuel=self.scheduler.timeslice)
+            self._in_guest = True
+            try:
+                self.machine.run(fuel=self.scheduler.timeslice)
+            finally:
+                self._in_guest = False
         except OutOfFuel:
             self._save(proc)
             self.scheduler.requeue(proc)  # timer preemption
@@ -352,6 +424,20 @@ class Runtime:
             proc.instructions += self.machine.instret - before
             if proc.state == ProcessState.RUNNING:
                 proc.state = ProcessState.READY
+        self._check_instruction_quota(proc)
+
+    def _check_instruction_quota(self, proc: Process) -> None:
+        quota = self.quotas.get(proc.pid)
+        if quota is None or quota.max_instructions is None \
+                or proc.state == ProcessState.ZOMBIE:
+            return
+        if proc.instructions > quota.max_instructions:
+            self._fault(
+                proc, "quota",
+                f"instruction budget exceeded "
+                f"({proc.instructions} > {quota.max_instructions})",
+                status=128 + 9,  # SIGKILL-style status
+            )
 
     # -- observability ----------------------------------------------------------
 

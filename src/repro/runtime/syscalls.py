@@ -49,6 +49,8 @@ def rt_exit(runtime, proc: Process):
 
 def rt_open(runtime, proc: Process):
     path_ptr, flags, _mode, *_ = _args(proc)
+    if not runtime.fd_slots_free(proc, 1):
+        return -errno.EMFILE
     try:
         path = runtime.memory.read_cstring(proc.pointer(path_ptr)).decode()
         handle = runtime.vfs.open(path, flags)
@@ -82,6 +84,7 @@ def rt_read(runtime, proc: Process):
         if isinstance(obj, PipeEnd):
             data = obj.read(count)
             if data is None:
+                proc.block_pipe = obj.pipe
                 return BLOCK
         else:
             data = obj.read(count)
@@ -103,6 +106,7 @@ def rt_write(runtime, proc: Process):
         if isinstance(obj, PipeEnd):
             written = obj.write(data)
             if written is None:
+                proc.block_pipe = obj.pipe
                 return BLOCK
             runtime.wake_pipe_waiters(obj.pipe)
             return written
@@ -133,6 +137,9 @@ def rt_brk(runtime, proc: Process):
     old_top = (proc.brk + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
     new_top = (new + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
     if new_top > old_top:
+        if not runtime.pages_quota_allows(
+                proc, (new_top - old_top) // PAGE_SIZE):
+            return -errno.ENOMEM
         runtime.memory.map_region(old_top, new_top - old_top, PERM_RW)
     proc.brk = new
     return new & _MASK64
@@ -143,6 +150,8 @@ def rt_mmap(runtime, proc: Process):
     if length == 0:
         return -errno.EINVAL
     length = (length + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+    if not runtime.pages_quota_allows(proc, length // PAGE_SIZE):
+        return -errno.ENOMEM
     base = runtime.mmap_allocate(proc, length)
     if base is None:
         return -errno.ENOMEM
@@ -198,6 +207,8 @@ def rt_getpid(runtime, proc: Process):
 
 def rt_pipe(runtime, proc: Process):
     fds_ptr, *_ = _args(proc)
+    if not runtime.fd_slots_free(proc, 2):
+        return -errno.EMFILE
     pipe = Pipe()
     r, w = proc.next_fd(), None
     proc.fds[r] = pipe.read_end()

@@ -251,11 +251,22 @@ class Pipe:
 
 
 class PipeEnd:
-    """One end of a pipe, presented with the FileHandle interface."""
+    """One end of a pipe, presented with the FileHandle interface.
+
+    An end can be referenced from several fd tables at once (``fork``
+    copies the parent's table), so it is reference counted: the underlying
+    pipe direction closes only when the *last* referent drops.
+    """
 
     def __init__(self, pipe: Pipe, reading: bool):
         self.pipe = pipe
         self.reading = reading
+        self.refs = 1
+
+    def retain(self) -> "PipeEnd":
+        """Add a reference (a new fd table now shares this description)."""
+        self.refs += 1
+        return self
 
     @property
     def readable(self) -> bool:
@@ -289,6 +300,11 @@ class PipeEnd:
         return len(data)
 
     def close(self) -> None:
+        """Drop one reference; close the pipe direction on the last one."""
+        if self.refs > 0:
+            self.refs -= 1
+        if self.refs:
+            return
         if self.reading:
             self.pipe.read_open = False
         else:

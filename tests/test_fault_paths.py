@@ -1,0 +1,195 @@
+"""Fault-path coverage: every way a sandbox dies must produce a precise
+``ProcessFault`` record, leave siblings untouched, and never hang the
+host loop.  Also covers the targeted pipe wake-up and shared-pipe
+refcounting fixes."""
+
+import pytest
+
+from repro.runtime import Deadlock, ProcessState, Runtime, RuntimeCall
+from repro.runtime.table import entry_address
+from repro.runtime.vfs import Pipe, PipeEnd
+from repro.toolchain import compile_lfi, compile_native
+from repro.workloads.rtlib import prologue, rt_exit, rtcall
+
+EXIT42 = prologue() + "    mov x0, #42\n" + rt_exit()
+
+SEGV = prologue() + """
+    mov x1, #0
+    ldr x0, [x1]
+""" + rt_exit()
+
+SIGILL = prologue() + """
+    brk #0
+""" + rt_exit()
+
+# entry_address(40) = 0xffff_0000_0140: a registered host entry with no
+# handler behind it — the "bad runtime call" path.
+BADCALL = prologue() + """
+    movz x30, #0xffff, lsl #32
+    movk x30, #0x0140
+    blr x30
+""" + rt_exit()
+
+
+def native_proc(runtime, src):
+    """Spawn hand-written (unverified) code — the fault-producing kind."""
+    return runtime.spawn(compile_native(src).elf, verify=False)
+
+
+class TestFaultRecords:
+    def test_segv_record(self):
+        runtime = Runtime()
+        proc = native_proc(runtime, SEGV)
+        runtime.run()
+        assert proc.state == ProcessState.ZOMBIE
+        assert proc.exit_code == 128 + 11
+        (fault,) = runtime.faults
+        assert fault.kind == "segv"
+        assert fault.pid == proc.pid
+        assert proc.layout.base <= fault.pc < proc.layout.end
+
+    def test_sigill_record(self):
+        runtime = Runtime()
+        proc = native_proc(runtime, SIGILL)
+        runtime.run()
+        assert proc.exit_code == 128 + 11
+        (fault,) = runtime.faults
+        assert fault.kind == "sigill"
+        assert fault.pid == proc.pid
+        assert proc.layout.base <= fault.pc < proc.layout.end
+
+    def test_badcall_record(self):
+        runtime = Runtime()
+        runtime.machine.register_host_entry(entry_address(40), 40)
+        proc = native_proc(runtime, BADCALL)
+        runtime.run()
+        assert proc.exit_code == 128 + 11
+        (fault,) = runtime.faults
+        assert fault.kind == "badcall"
+        assert fault.pid == proc.pid
+        assert "40" in fault.detail
+
+    def test_sibling_survives_fault(self):
+        runtime = Runtime()
+        bad = native_proc(runtime, SEGV)
+        good = runtime.spawn(compile_lfi(EXIT42).elf, verify=True)
+        runtime.run()
+        assert good.state == ProcessState.ZOMBIE
+        assert good.exit_code == 42
+        assert [f.pid for f in runtime.faults] == [bad.pid]
+
+    def test_blocked_forever_raises_deadlock(self):
+        """A reader with no writer must raise Deadlock, not spin."""
+        src = prologue() + """
+            adrp x19, fds
+            add x19, x19, :lo12:fds
+            mov x0, x19
+        """ + rtcall(RuntimeCall.PIPE) + """
+            ldr w20, [x19]
+            adrp x1, buf
+            add x1, x1, :lo12:buf
+            mov x0, x20
+            mov x2, #1
+        """ + rtcall(RuntimeCall.READ) + """
+            mov x0, #0
+        """ + rt_exit() + """
+        .data
+        .balign 8
+        fds: .skip 8
+        buf: .skip 8
+        """
+        runtime = Runtime()
+        runtime.spawn(compile_lfi(src).elf, verify=True)
+        with pytest.raises(Deadlock):
+            runtime.run(max_instructions=1_000_000)
+
+
+class TestTargetedWake:
+    def test_wake_only_matching_pipe_waiters(self):
+        """wake_pipe_waiters must not retry readers of *other* pipes."""
+        runtime = Runtime()
+        p1 = runtime.spawn(compile_lfi(EXIT42).elf, verify=True)
+        p2 = runtime.spawn(compile_lfi(EXIT42).elf, verify=True)
+        pipe_a, pipe_b = Pipe(), Pipe()
+        for proc, pipe in ((p1, pipe_a), (p2, pipe_b)):
+            proc.state = ProcessState.BLOCKED
+            proc.block_reason = "call"
+            proc.block_pipe = pipe
+        retried = []
+        runtime._retry_blocked = retried.append
+        runtime.wake_pipe_waiters(pipe_a)
+        assert [p.pid for p in retried] == [p1.pid]
+        runtime.wake_pipe_waiters(pipe_b)
+        assert [p.pid for p in retried] == [p1.pid, p2.pid]
+
+
+class TestPipeRefcount:
+    def test_close_decrements_before_closing_direction(self):
+        pipe = Pipe()
+        end = pipe.read_end()
+        assert end.retain() is end
+        end.close()
+        assert pipe.read_open  # one referent left
+        end.close()
+        assert not pipe.read_open
+        end.close()  # extra close is harmless
+        assert end.refs == 0
+
+    def test_write_end_independent(self):
+        pipe = Pipe()
+        r, w = pipe.read_end(), pipe.write_end()
+        w.retain()
+        w.close()
+        assert pipe.write_open
+        r.close()
+        assert not pipe.read_open and pipe.write_open
+        w.close()
+        assert not pipe.write_open
+
+    def test_parent_pipe_survives_child_exit(self):
+        """Fork shares the pipe ends; the child dying (its fd table torn
+        down) must not close the parent's live descriptors.  Before the
+        refcount fix the write below hit EPIPE and this exited 1."""
+        src = prologue() + """
+            adrp x19, fds
+            add x19, x19, :lo12:fds
+            mov x0, x19
+        """ + rtcall(RuntimeCall.PIPE) + rtcall(RuntimeCall.FORK) + """
+            cbnz x0, parent
+            mov x0, #7
+        """ + rt_exit() + """
+        parent:
+            mov x0, #0
+        """ + rtcall(RuntimeCall.WAIT) + """
+            ldr w20, [x19, #4]
+            adrp x1, buf
+            add x1, x1, :lo12:buf
+            mov x2, #65
+            strb w2, [x1]
+            mov x0, x20
+            mov x2, #1
+        """ + rtcall(RuntimeCall.WRITE) + """
+            tbnz x0, #63, bad
+            ldr w20, [x19]
+            mov x0, x20
+            mov x2, #1
+        """ + rtcall(RuntimeCall.READ) + """
+            tbnz x0, #63, bad
+            ldrb w3, [x1]
+            cmp x3, #65
+            b.ne bad
+            mov x0, #65
+        """ + rt_exit() + """
+        bad:
+            mov x0, #1
+        """ + rt_exit() + """
+        .data
+        .balign 8
+        fds: .skip 8
+        buf: .skip 8
+        """
+        runtime = Runtime()
+        proc = runtime.spawn(compile_lfi(src).elf, verify=True)
+        assert runtime.run_until_exit(proc) == 65
+        ends = [o for o in proc.fds.values() if isinstance(o, PipeEnd)]
+        assert all(e.refs == 1 for e in ends)
