@@ -33,6 +33,7 @@ from .constants import (
     ADDRESS_INDICES,
     BRANCH_TARGET_INDICES,
     MAX_IMM_DISPLACEMENT,
+    RESERVED_INDICES,
     SP_SMALL_IMM,
 )
 
@@ -189,8 +190,13 @@ class Verifier:
             if self.policy.sandbox_loads or not inst.is_load:
                 yield from self._check_memory(inst, stream, i)
             elif inst.mem is not None and inst.mem.writes_back \
-                    and inst.mem.base.index in ADDRESS_INDICES \
+                    and inst.mem.base.index in RESERVED_INDICES | {30} \
                     and not inst.mem.base.is_sp and inst.mem.base.is_gpr:
+                # Even unsandboxed loads must not move the sandbox base,
+                # the 32-bit invariant register, a hoisting register, or
+                # the link register via writeback (found by fuzzing: the
+                # old ADDRESS_INDICES check let `ldr x0, [x21], #8`
+                # through in no-loads mode).
                 yield ("writeback would modify reserved register "
                        f"{inst.mem.base}")
             yield from self._check_memory_destinations(inst, stream, i)

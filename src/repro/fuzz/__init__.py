@@ -1,0 +1,65 @@
+"""Property-based fuzzing for the rewriter/verifier/emulator triangle.
+
+The paper's security argument rests on two dual obligations:
+
+* **completeness** — everything the (untrusted) rewriter emits must be
+  accepted by the (trusted) verifier, at every optimization level (§5.1);
+* **soundness** — everything the verifier accepts must stay inside its
+  sandbox when executed, no matter how adversarial the bytes are (§5.2);
+
+plus the reproduction's own third leg:
+
+* **semantics preservation** — rewriting at O0/O1/O2 must not change what
+  a program computes.
+
+This package turns all three into continuously fuzzed properties:
+
+* :mod:`~repro.fuzz.genasm` — seeded generators of well-formed ARM64
+  assembly spanning loads/stores/indirect branches/sp/x30 manipulation;
+* :mod:`~repro.fuzz.mutate` — a seeded mutation engine that corrupts
+  *verified machine code* to manufacture adversarial binaries;
+* :mod:`~repro.fuzz.differential` — the three differential oracles;
+* :mod:`~repro.fuzz.shrink` — greedy minimization of failing cases;
+* :mod:`~repro.fuzz.corpus` — persistence and deterministic replay of
+  shrunk failures under ``tests/corpus/``;
+* :mod:`~repro.fuzz.campaign` — the budgeted, seeded campaign behind
+  ``python -m repro.tools fuzz``.
+
+Everything is deterministic: one seed produces one byte-identical log.
+"""
+
+from .campaign import CampaignStats, FuzzCampaign
+from .corpus import CorpusEntry, load_corpus, replay_corpus, save_entry
+from .differential import (
+    Finding,
+    LEVELS,
+    check_completeness,
+    check_semantics,
+    rewrite_to_elf,
+    run_elf_in_slot,
+    soundness_probe,
+)
+from .genasm import AsmGenerator, GenConfig, GeneratedProgram
+from .mutate import Mutation, MutationEngine, apply_mutations
+
+__all__ = [
+    "AsmGenerator",
+    "CampaignStats",
+    "CorpusEntry",
+    "Finding",
+    "FuzzCampaign",
+    "GenConfig",
+    "GeneratedProgram",
+    "LEVELS",
+    "Mutation",
+    "MutationEngine",
+    "apply_mutations",
+    "check_completeness",
+    "check_semantics",
+    "load_corpus",
+    "replay_corpus",
+    "rewrite_to_elf",
+    "run_elf_in_slot",
+    "save_entry",
+    "soundness_probe",
+]

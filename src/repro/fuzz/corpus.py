@@ -1,0 +1,148 @@
+"""Shrunk-failure corpus: persistence and deterministic replay.
+
+Every failure a campaign shrinks is saved as one JSON file under
+``tests/corpus/`` and replayed forever after.  Two entry kinds:
+
+* ``program`` — an assembly source; the completeness and semantics
+  oracles must pass on it at every opt level (``expect: "pass"``), or the
+  rewriter/verifier must reject it (``expect: "reject"``);
+* ``machine`` — a raw text segment (hex) standing in for an adversarial
+  binary; the verifier must reject it (``expect: "reject"``), or, if
+  accepted, the soundness probe must find zero containment violations
+  (``expect: "contained"``).
+
+Replay is pure: entries are loaded in sorted filename order and evaluated
+with the same oracle functions the live campaign uses, so a corpus run
+emits byte-identical logs on every machine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core import VerifierPolicy
+from ..elf import PF_R, PF_W, PF_X, ElfImage, ElfSegment
+from .differential import (
+    DATA_OFFSET,
+    Finding,
+    check_completeness,
+    check_semantics,
+    soundness_probe,
+)
+
+__all__ = ["CorpusEntry", "entry_elf", "load_corpus", "replay_corpus",
+           "save_entry"]
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_CORPUS = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+#: Assembler text base: machine entries place their text here so offsets
+#: match what the live campaign verified.
+TEXT_BASE = 0x0004_0000
+
+
+@dataclass
+class CorpusEntry:
+    """One persisted failure (or regression anchor)."""
+
+    name: str
+    kind: str  # "program" | "machine"
+    expect: str  # "pass" | "reject" | "contained"
+    description: str = ""
+    source: str = ""  # program kind
+    text_hex: str = ""  # machine kind
+    policy: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        body = {"name": self.name, "kind": self.kind, "expect": self.expect,
+                "description": self.description}
+        if self.kind == "program":
+            body["source"] = self.source
+        else:
+            body["text_hex"] = self.text_hex
+            if self.policy:
+                body["policy"] = self.policy
+        return json.dumps(body, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "CorpusEntry":
+        raw = json.loads(text)
+        return cls(
+            name=raw["name"], kind=raw["kind"], expect=raw["expect"],
+            description=raw.get("description", ""),
+            source=raw.get("source", ""),
+            text_hex=raw.get("text_hex", ""),
+            policy=raw.get("policy", {}),
+        )
+
+    def verifier_policy(self) -> VerifierPolicy:
+        return VerifierPolicy(**self.policy)
+
+
+def entry_elf(entry: CorpusEntry) -> ElfImage:
+    """Build the image for a ``machine`` entry: its text plus a data page."""
+    text = bytes.fromhex(entry.text_hex)
+    return ElfImage(entry=TEXT_BASE, segments=[
+        ElfSegment(vaddr=TEXT_BASE, data=text, memsz=max(len(text), 4),
+                   flags=PF_R | PF_X),
+        ElfSegment(vaddr=DATA_OFFSET, data=b"", memsz=4096,
+                   flags=PF_R | PF_W),
+    ])
+
+
+def load_corpus(directory: Optional[Path] = None) -> List[CorpusEntry]:
+    """All corpus entries, in sorted filename order (deterministic)."""
+    directory = Path(directory) if directory else DEFAULT_CORPUS
+    entries = []
+    if directory.is_dir():
+        for path in sorted(directory.glob("*.json")):
+            entries.append(CorpusEntry.from_json(path.read_text()))
+    return entries
+
+
+def save_entry(entry: CorpusEntry, directory: Optional[Path] = None) -> Path:
+    """Persist one entry as ``<name>.json``; returns the path written."""
+    directory = Path(directory) if directory else DEFAULT_CORPUS
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.name}.json"
+    path.write_text(entry.to_json())
+    return path
+
+
+def replay_entry(entry: CorpusEntry) -> List[Finding]:
+    """Re-run one entry through the oracles; returns surviving findings."""
+    if entry.kind == "program":
+        findings = check_completeness(entry.source)
+        if entry.expect == "reject":
+            # The entry is *supposed* to be rejected by the rewriter or
+            # verifier: a finding is the expected outcome, silence is not.
+            if findings:
+                return []
+            return [Finding("completeness", "-",
+                            f"{entry.name}: expected rejection, got none")]
+        return findings + check_semantics(entry.source)
+
+    accepted, findings = soundness_probe(entry_elf(entry),
+                                         entry.verifier_policy())
+    if entry.expect == "reject" and accepted:
+        return [Finding("soundness", "-",
+                        f"{entry.name}: verifier accepted a known-bad "
+                        f"mutant")] + findings
+    return findings
+
+
+def replay_corpus(directory: Optional[Path] = None,
+                  log=None) -> List[Finding]:
+    """Replay every corpus entry; log one line per entry; return findings."""
+    findings: List[Finding] = []
+    for entry in load_corpus(directory):
+        got = replay_entry(entry)
+        if log is not None:
+            status = "FAIL" if got else "ok"
+            log(f"corpus {entry.name} [{entry.kind}/{entry.expect}] "
+                f"{status}")
+        findings.extend(got)
+    return findings

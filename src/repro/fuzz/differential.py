@@ -1,0 +1,276 @@
+"""The three differential oracles (ISSUE 2 tentpole).
+
+* :func:`check_completeness` — everything the rewriter emits must be
+  accepted by the verifier, at every optimization level (paper §5.1);
+* :func:`check_semantics` — O0/O1/O2 (and the store-only variant) rewrites
+  of one program must be observationally equivalent to the native run on
+  final register file and data buffer;
+* :func:`soundness_probe` — a mutant the verifier *accepts* must execute
+  under the :class:`~repro.robustness.ContainmentAuditor` with zero
+  out-of-sandbox effects (paper §5.2, tested adversarially).
+
+All entry points are pure functions of their inputs; nothing here consults
+global randomness, so a fuzz campaign driven by one seed replays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..arm64 import parse_assembly
+from ..arm64.assembler import assemble
+from ..core import (
+    O0,
+    O1,
+    O2,
+    O2_NO_LOADS,
+    RewriteError,
+    RewriteOptions,
+    VerifierPolicy,
+    rewrite_program,
+    verify_elf,
+)
+from ..elf import PF_X, ElfImage, ElfSegment, build_elf
+from ..emulator import BrkTrap, Machine, OutOfFuel
+from ..memory import GUARD_SIZE, PERM_RW, PERM_RX, PagedMemory, SandboxLayout
+from ..robustness import ContainmentAuditor
+from ..runtime import Deadlock, Runtime, RuntimeError_
+
+__all__ = [
+    "Finding",
+    "LEVELS",
+    "check_completeness",
+    "check_semantics",
+    "assemble_to_elf",
+    "mutant_elf",
+    "rewrite_to_elf",
+    "run_elf_in_slot",
+    "state_diff",
+    "soundness_probe",
+]
+
+#: ``(label, rewrite options, matching verifier policy)`` for each level the
+#: oracles exercise — the four configurations of the paper's Figure 3.
+LEVELS: Tuple[Tuple[str, RewriteOptions, VerifierPolicy], ...] = (
+    ("O0", O0, VerifierPolicy()),
+    ("O1", O1, VerifierPolicy()),
+    ("O2", O2, VerifierPolicy()),
+    ("O2-noloads", O2_NO_LOADS, VerifierPolicy(sandbox_loads=False)),
+)
+
+#: Slot used for the machine-level (non-runtime) differential runs.
+SLOT = SandboxLayout.for_slot(3)
+
+#: Offset of the ``.data`` section inside the image (assembler layout).
+DATA_OFFSET = 0x2000_0000
+
+#: Machine-level fuel for one differential run.  Generated programs are a
+#: few hundred dynamic instructions; rewriting at most triples that.
+RUN_FUEL = 200_000
+
+#: Instruction budget for one mutant probe under the runtime.
+PROBE_BUDGET = 50_000
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One oracle failure, formatted deterministically."""
+
+    oracle: str  # "completeness" | "semantics" | "soundness" | "crash"
+    level: str  # opt-level label, or "-" when not level-specific
+    detail: str
+
+    def line(self) -> str:
+        return f"FINDING {self.oracle} level={self.level} {self.detail}"
+
+
+# -- building and running images ---------------------------------------------
+
+
+def rewrite_to_elf(source: str, options: RewriteOptions) -> ElfImage:
+    """Parse, rewrite, assemble, and link one program."""
+    program = rewrite_program(parse_assembly(source), options).program
+    return build_elf(assemble(program))
+
+
+def assemble_to_elf(source: str) -> ElfImage:
+    """Assemble a program natively (no rewriting)."""
+    return build_elf(assemble(parse_assembly(source)))
+
+
+def mutant_elf(elf: ElfImage, text: bytes) -> ElfImage:
+    """A copy of ``elf`` whose executable segment holds ``text``."""
+    segments = []
+    for seg in elf.segments:
+        if seg.flags & PF_X:
+            segments.append(ElfSegment(
+                vaddr=seg.vaddr, data=text,
+                memsz=max(seg.memsz, len(text)), flags=seg.flags))
+        else:
+            segments.append(seg)
+    return ElfImage(entry=elf.entry, segments=segments)
+
+
+def run_elf_in_slot(elf: ElfImage, fuel: int = RUN_FUEL,
+                    buf_size: int = 4096) -> Tuple[List[int], bytes]:
+    """Run an image bare-machine in a sandbox slot; return observable state.
+
+    Mirrors the runtime loader: segments land at ``SLOT.base + vaddr``, a
+    stack is mapped below ``usable_end``, x21 holds the slot base.  The
+    program must halt via ``brk #0``.  Returns ``(x0..x7, data buffer)``.
+    """
+    memory = PagedMemory()
+    page = memory.page_size
+    for seg in elf.segments:
+        vaddr = SLOT.base + seg.vaddr
+        base = vaddr & ~(page - 1)
+        end = (vaddr + max(seg.memsz, 1) + page - 1) & ~(page - 1)
+        memory.map_region(base, end - base, PERM_RW)
+        memory.load_image(vaddr, seg.data)
+        memory.protect(base, end - base,
+                       PERM_RX if seg.flags & PF_X else PERM_RW)
+    stack_top = SLOT.usable_end
+    memory.map_region(stack_top - 0x8000, 0x8000, PERM_RW)
+
+    machine = Machine(memory)
+    machine.cpu.pc = SLOT.base + elf.entry
+    machine.cpu.sp = stack_top
+    machine.cpu.regs[21] = SLOT.base
+    try:
+        machine.run(fuel=fuel)
+    except BrkTrap:
+        pass
+    else:
+        raise OutOfFuel("program did not halt")
+
+    return (
+        [machine.cpu.regs[i] for i in range(8)],
+        memory.read(SLOT.base + DATA_OFFSET, buf_size),
+    )
+
+
+# -- oracle 1: completeness ---------------------------------------------------
+
+
+def check_completeness(source: str) -> List[Finding]:
+    """Rewriter output must verify at every level (with its own policy)."""
+    findings: List[Finding] = []
+    for label, options, policy in LEVELS:
+        try:
+            elf = rewrite_to_elf(source, options)
+        except RewriteError as exc:
+            findings.append(Finding("completeness", label,
+                                    f"rewriter rejected input: {exc}"))
+            continue
+        result = verify_elf(elf, policy)
+        if not result.ok:
+            first = "; ".join(str(v) for v in result.violations[:3])
+            findings.append(Finding(
+                "completeness", label,
+                f"{len(result.violations)} violation(s): {first}"))
+    return findings
+
+
+# -- oracle 2: semantics preservation ----------------------------------------
+
+
+def check_semantics(source: str, fuel: int = RUN_FUEL) -> List[Finding]:
+    """Native and rewritten runs must agree on registers and data buffer."""
+    findings: List[Finding] = []
+    try:
+        native = run_elf_in_slot(assemble_to_elf(source), fuel)
+    except OutOfFuel:
+        return [Finding("crash", "native", "program did not halt")]
+    for label, options, _policy in LEVELS:
+        try:
+            elf = rewrite_to_elf(source, options)
+        except RewriteError:
+            continue  # completeness oracle reports this
+        try:
+            sandboxed = run_elf_in_slot(elf, fuel)
+        except OutOfFuel:
+            findings.append(Finding("semantics", label,
+                                    "rewritten program did not halt"))
+            continue
+        if sandboxed != native:
+            findings.append(Finding("semantics", label,
+                                    state_diff(native, sandboxed)))
+    return findings
+
+
+def state_diff(native, sandboxed) -> str:
+    """First observable divergence, deterministically formatted."""
+    nregs, nbuf = native
+    sregs, sbuf = sandboxed
+    for i, (a, b) in enumerate(zip(nregs, sregs)):
+        if a != b:
+            return f"x{i}: native={a:#x} rewritten={b:#x}"
+    for off, (a, b) in enumerate(zip(nbuf, sbuf)):
+        if a != b:
+            return f"buffer[{off:#x}]: native={a:#x} rewritten={b:#x}"
+    return "states differ"
+
+
+# -- oracle 3: soundness ------------------------------------------------------
+
+
+def soundness_probe(elf: ElfImage, policy: Optional[VerifierPolicy] = None,
+                    budget: int = PROBE_BUDGET,
+                    ) -> Tuple[bool, List[Finding]]:
+    """Check one (possibly adversarial) image against the verifier's promise.
+
+    Returns ``(accepted, findings)``.  If the verifier rejects the image
+    there is nothing to check (``(False, [])``).  If it accepts, the image
+    runs under a fresh :class:`Runtime` with a :class:`ContainmentAuditor`
+    attached and a writable decoy page mapped in the *neighbouring* slot —
+    a landing zone that turns a silent escape into a recorded write — and
+    every audited effect outside the sandbox becomes a soundness finding.
+    """
+    result = verify_elf(elf, policy)
+    if not result.ok:
+        return False, []
+
+    runtime = Runtime(first_slot=1)
+    auditor = ContainmentAuditor(runtime)
+    # Decoy page one slot above: adjacent-slot escapes (e.g. a computed
+    # address just past the 4GiB boundary) hit mapped memory instead of
+    # faulting, so only the auditor can catch them.
+    decoy = SandboxLayout.for_slot(2)
+    runtime.memory.map_region(decoy.base + 0x10000, runtime.memory.page_size,
+                              PERM_RW)
+
+    # The verifier already accepted the image above; spawn trusts it so the
+    # probe exercises exactly what was verified.
+    proc = runtime.spawn(elf, verify=False)
+    outcome = "exited"
+    try:
+        runtime.run_until_exit(proc, max_instructions=budget)
+    except Deadlock:
+        outcome = "deadlocked"
+    except RuntimeError_:
+        outcome = "budget-exhausted"
+    auditor.audit_after_fault(proc.pid)
+
+    findings = [
+        Finding("soundness", "-", f"[{outcome}] {v.line()}")
+        for v in auditor.violations
+    ]
+    # The auditor's register walk skips zombies, but the probed process is
+    # usually dead by now (brk/segv terminate it) — its *saved* registers
+    # still witness any invariant break, so check them here.  x21 is never
+    # legally written; sp may legitimately drift into the guard regions.
+    lo, hi = proc.layout.base, proc.layout.end
+    x21 = proc.registers["regs"][21]
+    if x21 != lo:
+        findings.append(Finding(
+            "soundness", "-",
+            f"[{outcome}] register: pid={proc.pid} x21 = {x21:#x}, "
+            f"expected slot base {lo:#x}"))
+    sp = proc.registers["sp"]
+    if not lo - GUARD_SIZE <= sp <= hi + GUARD_SIZE:
+        findings.append(Finding(
+            "soundness", "-",
+            f"[{outcome}] register: pid={proc.pid} sp = {sp:#x} outside "
+            f"slot [{lo:#x}, {hi:#x}] and its guard regions"))
+    return True, findings

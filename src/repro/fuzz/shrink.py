@@ -1,0 +1,77 @@
+"""Greedy minimization of failing fuzz cases.
+
+Two shrinkers, one per input shape:
+
+* :func:`shrink_program` — ddmin-style reduction over a generated
+  program's *fragments* (the generator's unit of meaning); removing whole
+  fragments keeps the residue well-formed, so every candidate is still a
+  valid program;
+* :func:`shrink_mutations` — drops mutations from a mutant's batch one at
+  a time, keeping the smallest suffix that still reproduces.
+
+Both take a ``fails`` predicate and guarantee the returned case satisfies
+it (the original is returned unchanged if nothing smaller reproduces).
+Predicates are called a bounded number of times so shrinking can never
+stall a campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from .genasm import GeneratedProgram
+from .mutate import Mutation
+
+__all__ = ["shrink_program", "shrink_mutations"]
+
+#: Cap on predicate evaluations per shrink (each evaluation may rebuild and
+#: re-run a program at four opt levels).
+MAX_PROBES = 64
+
+
+def shrink_program(program: GeneratedProgram,
+                   fails: Callable[[GeneratedProgram], bool],
+                   ) -> GeneratedProgram:
+    """Smallest fragment subset of ``program`` still failing ``fails``."""
+    probes = 0
+    current = program
+    chunk = max(1, len(current.fragments) // 2)
+    while chunk >= 1 and probes < MAX_PROBES:
+        shrunk = False
+        n = len(current.fragments)
+        start = 0
+        while start < n and probes < MAX_PROBES:
+            keep = [i for i in range(n)
+                    if not start <= i < start + chunk]
+            if not keep:
+                start += chunk
+                continue
+            candidate = current.with_fragments(keep)
+            probes += 1
+            if fails(candidate):
+                current = candidate
+                n = len(current.fragments)
+                shrunk = True
+                # Restart at the same position: indices shifted left.
+            else:
+                start += chunk
+        if not shrunk:
+            chunk //= 2
+    return current
+
+
+def shrink_mutations(mutations: Sequence[Mutation],
+                     fails: Callable[[List[Mutation]], bool],
+                     ) -> List[Mutation]:
+    """Smallest sub-batch of ``mutations`` still failing ``fails``."""
+    current = list(mutations)
+    probes = 0
+    i = 0
+    while i < len(current) and len(current) > 1 and probes < MAX_PROBES:
+        candidate = current[:i] + current[i + 1:]
+        probes += 1
+        if fails(candidate):
+            current = candidate
+        else:
+            i += 1
+    return current

@@ -99,6 +99,39 @@ def _cmd_run(args) -> int:
     return code
 
 
+def _cmd_fuzz(args) -> int:
+    from ..fuzz import FuzzCampaign, replay_corpus
+    from ..fuzz.genasm import GenConfig
+
+    lines: List[str] = []
+
+    def emit(line: str) -> None:
+        lines.append(line)
+        if not args.quiet:
+            print(line)
+
+    findings = []
+    if not args.skip_corpus:
+        findings.extend(replay_corpus(args.corpus, log=emit))
+    if args.budget > 0:
+        campaign = FuzzCampaign(
+            seed=args.seed, budget=args.budget,
+            mutants_per_program=args.mutants,
+            config=GenConfig(exclusives=not args.no_exclusives),
+            corpus_dir=args.save_corpus,
+            )
+        findings.extend(campaign.run())
+        for line in campaign.lines:
+            emit(line)
+    if args.log:
+        with open(args.log, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+    if findings:
+        print(f"FAILED: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_disasm(args) -> int:
     with open(args.input, "rb") as handle:
         image = read_elf(handle.read())
@@ -179,6 +212,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true")
     p.add_argument("--max-insts", type=int, default=None)
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the rewriter/verifier/emulator",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (same seed -> byte-identical log)")
+    p.add_argument("--budget", type=int, default=100,
+                   help="number of generated programs (0 = corpus only)")
+    p.add_argument("--mutants", type=int, default=4,
+                   help="mutants probed per generated program")
+    p.add_argument("--corpus", default=None,
+                   help="corpus directory to replay (default tests/corpus)")
+    p.add_argument("--skip-corpus", action="store_true",
+                   help="skip the corpus replay before the campaign")
+    p.add_argument("--save-corpus", default=None, metavar="DIR",
+                   help="persist shrunk failures into DIR")
+    p.add_argument("--no-exclusives", action="store_true",
+                   help="generate without LL/SC fragments")
+    p.add_argument("--log", default=None,
+                   help="also write the deterministic log to this file")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-iteration stdout")
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("disasm", help="disassemble an ELF text segment")
     p.add_argument("input")

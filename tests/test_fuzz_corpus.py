@@ -1,0 +1,180 @@
+"""Corpus replay and property-based fuzz tests (ISSUE 2 tentpole).
+
+The fast layer replays every shrunk failure under ``tests/corpus/`` and
+checks the corpus machinery itself (round-trips, stale-entry detection).
+The hypothesis layer re-states the three oracles as properties over the
+generator's program space; the heavyweight instances carry the ``slow``
+marker and run in the fuzz-smoke CI job rather than tier-1.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.options import O1
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    entry_elf,
+    load_corpus,
+    replay_corpus,
+    replay_entry,
+    save_entry,
+)
+from repro.fuzz.differential import (
+    check_completeness,
+    check_semantics,
+    mutant_elf,
+    rewrite_to_elf,
+    soundness_probe,
+)
+from repro.fuzz.genasm import AsmGenerator, GenConfig
+from repro.fuzz.mutate import OPS, Mutation, MutationEngine, apply_mutations
+
+ENTRIES = load_corpus()
+
+
+# -- the committed corpus ------------------------------------------------------
+
+
+def test_corpus_is_not_empty():
+    assert len(ENTRIES) >= 9
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_corpus_entry_replays_clean(entry):
+    assert replay_entry(entry) == []
+
+
+def test_corpus_replay_log_is_deterministic():
+    logs = []
+    for _ in range(2):
+        lines = []
+        findings = replay_corpus(log=lines.append)
+        assert findings == []
+        logs.append(lines)
+    assert logs[0] == logs[1]
+    assert logs[0] == sorted(logs[0], key=lambda l: l.split()[1])
+
+
+# -- corpus machinery ----------------------------------------------------------
+
+
+def test_entry_round_trips_through_json(tmp_path):
+    entry = CorpusEntry(name="rt", kind="machine", expect="reject",
+                        description="round-trip", text_hex="1f2003d5",
+                        policy={"sandbox_loads": False})
+    save_entry(entry, tmp_path)
+    loaded = load_corpus(tmp_path)
+    assert loaded == [entry]
+    assert not loaded[0].verifier_policy().sandbox_loads
+
+
+def test_replay_flags_a_stale_reject_entry():
+    # A "the verifier must reject this" entry whose payload is now clean
+    # must fail replay loudly, not rot silently.
+    entry = CorpusEntry(name="stale", kind="machine", expect="reject",
+                        text_hex="1f2003d5")  # a lone nop: verifies fine
+    findings = replay_entry(entry)
+    assert findings
+    assert "verifier accepted a known-bad mutant" in findings[0].detail
+
+
+def test_replay_flags_a_stale_program_reject_entry():
+    entry = CorpusEntry(name="stale-prog", kind="program", expect="reject",
+                        source=(".text\n.globl _start\n_start:\n"
+                                "    mov x0, #1\n    brk #0\n"))
+    findings = replay_entry(entry)
+    assert findings
+    assert "expected rejection" in findings[0].detail
+
+
+def test_entry_elf_places_text_and_data():
+    entry = CorpusEntry(name="e", kind="machine", expect="contained",
+                        text_hex="1f2003d5")
+    elf = entry_elf(entry)
+    assert elf.entry == 0x0004_0000
+    assert [seg.vaddr for seg in elf.segments] == [0x0004_0000, 0x2000_0000]
+
+
+# -- property layer (fast instances) ------------------------------------------
+
+_FAST = settings(max_examples=10, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+_SLOW = settings(max_examples=40, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+_SMALL = GenConfig(min_fragments=1, max_fragments=4)
+
+_mutations = st.lists(
+    st.tuples(st.sampled_from(OPS), st.integers(0, 1 << 16),
+              st.integers(0, 1 << 16), st.integers(0, 30)),
+    min_size=1, max_size=4,
+).map(lambda raw: [Mutation(op, (a, b, c) if op != "bitflip" else (a, b))
+                   for op, a, b, c in raw])
+
+
+@_FAST
+@given(st.randoms(use_true_random=False))
+def test_property_rewrites_always_verify(rnd):
+    program = AsmGenerator(_SMALL).generate(rnd)
+    assert check_completeness(program.source) == []
+
+
+@_FAST
+@given(st.randoms(use_true_random=False), st.integers(1, 5))
+def test_property_mutation_plans_apply_cleanly(rnd, count):
+    source = AsmGenerator(_SMALL).generate(rnd).source
+    text = bytes(rewrite_to_elf(source, O1).text.data)
+    plan = MutationEngine(rnd).plan(text, count)
+    mutated = apply_mutations(text, plan)
+    assert len(mutated) == len(text)
+    assert apply_mutations(text, plan) == mutated  # deterministic
+
+
+@_FAST
+@given(st.binary(min_size=4, max_size=64), _mutations)
+def test_property_apply_mutations_total_on_any_text(data, mutations):
+    text = data[: len(data) & ~3] or b"\x1f\x20\x03\xd5"
+    mutated = apply_mutations(text, mutations)
+    assert len(mutated) == len(text)
+
+
+# -- property layer (slow instances, fuzz-smoke CI job) ------------------------
+
+
+@pytest.mark.slow
+@_SLOW
+@given(st.randoms(use_true_random=False))
+def test_property_semantics_preserved(rnd):
+    program = AsmGenerator(_SMALL).generate(rnd)
+    assert check_semantics(program.source) == []
+
+
+@pytest.mark.slow
+@_SLOW
+@given(st.randoms(use_true_random=False), st.integers(1, 3))
+def test_property_accepted_mutants_stay_contained(rnd, count):
+    source = AsmGenerator(_SMALL).generate(rnd).source
+    elf = rewrite_to_elf(source, O1)
+    text = bytes(elf.text.data)
+    plan = MutationEngine(rnd).plan(text, count)
+    mutated = mutant_elf(elf, apply_mutations(text, plan))
+    accepted, findings = soundness_probe(mutated, budget=20_000)
+    assert findings == [], [f.line() for f in findings]
+
+
+@pytest.mark.slow
+def test_slow_campaign_smoke():
+    from repro.fuzz.campaign import FuzzCampaign
+    campaign = FuzzCampaign(seed=0, budget=25)
+    assert campaign.run() == []
+
+
+def test_random_seeded_generation_is_cheap_enough():
+    # Guard against the generator quietly ballooning: tier-1 runs it a lot.
+    program = AsmGenerator().generate(random.Random(0))
+    assert program.instruction_estimate() < 400

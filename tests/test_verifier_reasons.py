@@ -1,0 +1,279 @@
+"""One negative test per verifier rejection reason (ISSUE 2 satellite).
+
+The verifier's security argument is the union of its rejection branches:
+an unreachable or mis-ordered branch is a silent hole.  Every ``yield``
+in ``repro/core/verifier.py`` gets a test here that triggers exactly it,
+plus a positive twin where the rule has a legitimate near-miss.
+
+Two branches are unreachable from decoded bytes (the decoder never
+produces such instructions) and are exercised with synthetic
+``Instruction`` objects: they are defense-in-depth against future decoder
+changes, not dead code.
+
+This suite also pins the fix for the fuzzer-found soundness bug: in
+store-only mode (``sandbox_loads=False``) writeback loads through
+x21/x22/x30 were accepted, letting a verified binary move the sandbox
+base at runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arm64 import parse_assembly
+from repro.arm64.assembler import assemble
+from repro.arm64.instructions import Instruction
+from repro.arm64.registers import parse_register
+from repro.core import Verifier, VerifierPolicy, verify_elf, verify_text
+from repro.elf import build_elf
+
+
+def _reasons(body, **policy):
+    """Verify a snippet; return the list of violation reasons."""
+    lines = [body] if isinstance(body, str) else list(body)
+    source = ".text\n.globl _start\n_start:\n" + "".join(
+        f"    {line}\n" for line in lines
+    )
+    elf = build_elf(assemble(parse_assembly(source)))
+    result = Verifier(VerifierPolicy(**policy)).verify_elf(elf)
+    return [v.reason for v in result.violations]
+
+
+def _assert_reason(body, fragment, **policy):
+    reasons = _reasons(body, **policy)
+    assert any(fragment in r for r in reasons), \
+        f"expected a reason containing {fragment!r}, got {reasons}"
+
+
+class TestStreamShape:
+    def test_text_size_not_multiple_of_four(self):
+        result = verify_text(b"\x1f\x20\x03\xd5\x00")  # nop + stray byte
+        assert not result.ok
+        assert any("not a multiple of 4" in v.reason
+                   for v in result.violations)
+
+    def test_undecodable_instruction(self):
+        result = verify_text(b"\xff\xff\xff\xff")
+        assert not result.ok
+        assert result.violations[0].reason == "undecodable instruction"
+
+    def test_unsafe_mnemonic(self):
+        _assert_reason("svc #0", "instruction not on the safe list")
+
+    def test_exclusives_disallowed_by_policy(self):
+        _assert_reason("ldxr x0, [x18]", "disallowed by policy",
+                       allow_exclusives=False)
+
+    def test_ordered_access_disallowed_by_policy(self):
+        _assert_reason("ldar x0, [x18]", "disallowed by policy",
+                       allow_exclusives=False)
+
+    def test_exclusives_allowed_by_default(self):
+        assert _reasons("ldxr x0, [x18]") == []
+
+
+class TestMemoryAddressing:
+    def test_register_offset_from_sp(self):
+        _assert_reason("ldr x0, [sp, x1]",
+                       "register-offset addressing from sp")
+
+    def test_sp_displacement_exceeds_guard(self):
+        # Reachable only with a reduced guard region: the architectural
+        # imm12 maximum (32760) is below the default 1 << 15 ceiling.
+        _assert_reason("ldr x0, [sp, #32]", "sp displacement 32 exceeds",
+                       max_displacement=16)
+
+    def test_sp_displacement_within_guard_ok(self):
+        assert _reasons("ldr x0, [sp, #8]", max_displacement=16) == []
+
+    def test_register_offset_from_guarded_base(self):
+        _assert_reason("ldr x0, [x18, x1]",
+                       "register-offset addressing from x18")
+
+    def test_displacement_exceeds_guard(self):
+        _assert_reason("ldr x0, [x18, #32]", "displacement 32 exceeds",
+                       max_displacement=16)
+
+    def test_writeback_modifies_guarded_base(self):
+        _assert_reason("ldr x0, [x18], #8",
+                       "writeback would modify reserved register x18")
+
+    def test_unsafe_extend_from_x21(self):
+        _assert_reason("ldr x0, [x21, w1, sxtw]", "unsafe extend sxtw")
+
+    def test_guarded_extend_from_x21_ok(self):
+        assert _reasons("ldr x0, [x21, w1, uxtw]") == []
+
+    def test_unsafe_register_addressing_from_x21(self):
+        _assert_reason("ldr x0, [x21, x1]", "unsafe addressing from x21")
+
+    def test_unsafe_shifted_addressing_from_x21(self):
+        _assert_reason("ldr x0, [x21, x1, lsl #3]",
+                       "unsafe addressing from x21")
+
+    def test_store_through_x21(self):
+        _assert_reason("str x0, [x21, #8]", "runtime-call table is read-only")
+
+    def test_writeback_modifies_x21(self):
+        _assert_reason("ldr x0, [x21, #8]!", "writeback would modify x21")
+
+    def test_negative_displacement_from_x21(self):
+        _assert_reason("ldur x0, [x21, #-8]",
+                       "negative displacement from x21")
+
+    def test_x21_displacement_out_of_table(self):
+        _assert_reason("ldr x0, [x21, #32]", "x21 displacement 32 out of",
+                       max_displacement=16)
+
+    def test_unguarded_base_register(self):
+        _assert_reason("ldr x1, [x0]", "unguarded base register x0")
+
+    def test_memory_instruction_without_memory_operand(self):
+        # Unreachable from decoded bytes (the decoder always attaches a
+        # Mem operand to memory mnemonics); guards against decoder drift.
+        inst = Instruction("ldr", (parse_register("x0"),))
+        reasons = list(Verifier()._check(inst, [inst], 0))
+        assert "memory instruction without memory operand" in reasons
+
+
+class TestLoadDestinations:
+    def test_load_writes_x21(self):
+        _assert_reason("ldr x21, [x18]", "load writes x21")
+
+    def test_load_writes_reserved_register(self):
+        _assert_reason("ldr x23, [x18]", "load writes reserved register x23")
+
+    def test_64bit_load_writes_x22(self):
+        _assert_reason("ldr x22, [x18]", "64-bit load writes x22")
+
+    def test_32bit_load_into_w22_ok(self):
+        assert _reasons("ldr w22, [x18]") == []
+
+    def test_32bit_write_to_link_register(self):
+        _assert_reason("ldr w30, [x18]", "32-bit write to link register")
+
+    def test_load_writes_x30_without_guard(self):
+        _assert_reason("ldr x30, [x18]", "without a following link-register")
+
+    def test_load_x30_with_guard_ok(self):
+        assert _reasons(["ldr x30, [x18]",
+                         "add x30, x21, w30, uxtw"]) == []
+
+    def test_runtime_call_idiom_ok(self):
+        assert _reasons(["ldr x30, [x21, #16]", "blr x30"]) == []
+
+    def test_store_exclusive_status_into_reserved(self):
+        _assert_reason("stxr w18, x1, [x18]",
+                       "load writes reserved register x18")
+
+
+class TestNoLoadsWritebackRegression:
+    """Fuzzer-found fix: store-only mode must still reject writeback loads
+    through every reserved register, not just the guarded address ones."""
+
+    @pytest.mark.parametrize("base", ["x18", "x21", "x22", "x23", "x24",
+                                      "x30"])
+    def test_reserved_base_writeback_rejected(self, base):
+        _assert_reason(f"ldr x0, [{base}], #8",
+                       f"writeback would modify reserved register {base}",
+                       sandbox_loads=False)
+
+    @pytest.mark.parametrize("base", ["x18", "x21", "x22", "x23", "x24",
+                                      "x30"])
+    def test_reserved_base_preindex_rejected(self, base):
+        _assert_reason(f"ldr x0, [{base}, #16]!",
+                       f"writeback would modify reserved register {base}",
+                       sandbox_loads=False)
+
+    def test_plain_load_unchecked_in_noloads_mode(self):
+        # The point of the mode: load *addresses* are not sandboxed.
+        assert _reasons("ldr x1, [x0]", sandbox_loads=False) == []
+
+    def test_work_register_writeback_ok_in_noloads_mode(self):
+        assert _reasons("ldr x1, [x0], #8", sandbox_loads=False) == []
+
+    def test_sp_writeback_load_ok_in_noloads_mode(self):
+        assert _reasons("ldr x0, [sp], #16", sandbox_loads=False) == []
+
+    def test_stores_still_checked_in_noloads_mode(self):
+        _assert_reason("str x1, [x0]", "unguarded base register x0",
+                       sandbox_loads=False)
+
+
+class TestIndirectBranches:
+    def test_unguarded_branch_register(self):
+        _assert_reason("br x5", "indirect branch through unguarded "
+                                "register x5")
+
+    def test_branch_through_guarded_register_ok(self):
+        assert _reasons(["add x18, x21, w0, uxtw", "br x18"]) == []
+
+    def test_bare_ret_needs_no_operand_check(self):
+        assert _reasons(["adr x30, _start", "add x30, x21, w30, uxtw",
+                         "ret"]) == []
+
+    def test_malformed_indirect_branch(self):
+        # Unreachable from decoded bytes (br/blr always decode with a
+        # 64-bit GPR operand); guards against decoder drift.
+        inst = Instruction("br", (parse_register("w0"),))
+        reasons = list(Verifier()._check(inst, [inst], 0))
+        assert any("malformed indirect branch" in r for r in reasons)
+
+
+class TestRegisterWrites:
+    def test_write_to_x21(self):
+        _assert_reason("add x21, x21, #1", "write to x21 (sandbox base)")
+
+    def test_guard_register_written_by_non_guard(self):
+        _assert_reason("add x18, x18, #1",
+                       "x18 modified by something other than the guard")
+
+    def test_guard_register_32bit_write_rejected(self):
+        _assert_reason("mov w23, w0",
+                       "x23 modified by something other than the guard")
+
+    def test_guard_write_ok(self):
+        assert _reasons("add x18, x21, w0, uxtw") == []
+
+    def test_64bit_write_to_x22(self):
+        _assert_reason("mov x22, x0", "64-bit write to x22 breaks")
+
+    def test_32bit_write_to_x22_ok(self):
+        assert _reasons("mov w22, w0") == []
+
+    def test_x30_written_by_non_guard(self):
+        _assert_reason("mov x30, x0",
+                       "x30 modified by something other than the guard")
+
+    def test_x30_mov_then_guard_ok(self):
+        assert _reasons(["mov x30, x0", "add x30, x21, w30, uxtw"]) == []
+
+    def test_call_writes_x30_ok(self):
+        assert _reasons(["bl _start"]) == []
+
+
+class TestStackPointer:
+    def test_sp_arithmetic_without_access(self):
+        _assert_reason(["sub sp, sp, #16", "ret"],
+                       "sp arithmetic without a following sp access")
+
+    def test_sp_arithmetic_with_access_ok(self):
+        assert _reasons(["sub sp, sp, #16", "str x0, [sp]"]) == []
+
+    def test_unsafe_sp_modification(self):
+        _assert_reason("mov sp, x0", "unsafe sp modification")
+
+    def test_large_sp_subtract_unsafe(self):
+        _assert_reason(["sub sp, sp, #2048", "str x0, [sp]"],
+                       "unsafe sp modification")
+
+    def test_sp_guard_pair_ok(self):
+        assert _reasons(["mov w22, wsp", "add sp, x21, x22"]) == []
+
+
+def test_verify_elf_skips_non_executable_segments():
+    source = (".text\n.globl _start\n_start:\n    brk #0\n"
+              ".data\nbuffer:\n    .skip 64\n")
+    elf = build_elf(assemble(parse_assembly(source)))
+    result = verify_elf(elf)
+    assert result.ok and result.instructions == 1
