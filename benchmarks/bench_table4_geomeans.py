@@ -17,11 +17,11 @@ We assert the ordering and the relative factors, not the absolute values
 import pytest
 
 from repro.emulator import APPLE_M1, GCP_T2A
-from repro.perf import format_geomean_table, geomean
+from repro.perf import format_geomean_table, geomean, overhead_pct
 from repro.workloads import WASM_SUBSET
 
 from .bench_fig4_wasm import COLUMNS, VARIANTS
-from .conftest import suite_overheads
+from .conftest import metrics_for, suite_overheads
 
 
 @pytest.mark.parametrize("model", [GCP_T2A, APPLE_M1], ids=lambda m: m.name)
@@ -45,6 +45,16 @@ def test_table4_geomeans(model):
     # best-tuned Wasm configuration.
     best_wasm = min(v for k, v in means.items() if k != "LFI")
     assert means["LFI"] * 2 < best_wasm
+
+    # The table's percentages are the one shared overhead_pct formula
+    # applied to the raw cycle counts (no duplicated math anywhere).
+    name = next(iter(table))
+    result = metrics_for(name, VARIANTS, model)
+    native = result["native"]
+    for column in COLUMNS:
+        assert table[name][column] == pytest.approx(
+            overhead_pct(native.cycles, result[column].cycles)
+        )
 
 
 def test_table4_benchmark(benchmark):

@@ -34,17 +34,22 @@ TARGET = int(os.environ.get("REPRO_BENCH_TARGET", "60000"))
 _CACHE: Dict[Tuple, Dict[str, float]] = {}
 
 
-def overheads_for(name: str, variants: Sequence[Variant], model,
-                  target: int = None) -> Dict[str, float]:
-    """Cached benchmark-vs-variants overhead row."""
+def metrics_for(name: str, variants: Sequence[Variant], model,
+                target: int = None) -> Dict[str, object]:
+    """Cached full measure_benchmark result (RunMetrics + overheads)."""
     target = target or TARGET
     key = (name, tuple(v.name for v in variants), model.name, target)
     if key not in _CACHE:
-        result = measure_benchmark(
+        _CACHE[key] = measure_benchmark(
             name, list(variants), model, target_instructions=target
         )
-        _CACHE[key] = result["overheads"]
     return _CACHE[key]
+
+
+def overheads_for(name: str, variants: Sequence[Variant], model,
+                  target: int = None) -> Dict[str, float]:
+    """Cached benchmark-vs-variants overhead row."""
+    return metrics_for(name, variants, model, target)["overheads"]
 
 
 def suite_overheads(names, variants, model, target=None):

@@ -3,7 +3,9 @@
 
 Uses the public perf API to run three SPEC stand-ins natively and under
 LFI O0/O1/O2 on the Apple M1 cost model, then prints the overhead table —
-a small-scale version of `benchmarks/bench_fig3_opt_levels.py`.
+a small-scale version of `benchmarks/bench_fig3_opt_levels.py` — and
+decomposes each O2 overhead into per-guard-class components with the obs
+profiler (Table 4, taken apart).
 
 Run:  python examples/overhead_report.py  [target_instructions]
 """
@@ -12,6 +14,7 @@ import sys
 
 from repro.core import O0, O1, O2
 from repro.emulator import APPLE_M1
+from repro.obs import profile_workload
 from repro.perf import (
     format_overhead_table,
     geomean,
@@ -49,6 +52,18 @@ def main():
     print("leela is branchy unhoistable search (the paper's worst case); "
           "lbm and mcf are\nmemory-bound, which hides guard cost — "
           "the same shape as the paper's Figure 3.")
+
+    print("\nO2 overhead decomposed by guard class "
+          "(amortized; rows sum to the overhead):")
+    classes = ("memory", "branch", "sp", "x30", "hoist", "other")
+    print(f"{'benchmark':<12}" + "".join(f"{c:>9}" for c in classes)
+          + f"{'total':>9}")
+    for name in BENCHMARKS:
+        report = profile_workload(name, options=O2, model=APPLE_M1,
+                                  target_instructions=target)
+        parts = report.decomposed_overhead_pct()
+        row = "".join(f"{parts.get(c, 0.0):>8.2f}%" for c in classes)
+        print(f"{name:<12}{row}{report.overhead_pct:>8.2f}%")
 
 
 if __name__ == "__main__":

@@ -55,6 +55,10 @@ class AssembledImage:
     sections: Dict[str, Section]
     symbols: Dict[str, int]
     entry: int
+    #: Guard provenance: address of each rewriter-inserted guard
+    #: instruction -> its guard class (see ``repro.core.guards``).
+    #: Addresses are sandbox offsets, like everything else in the image.
+    provenance: Dict[int, str] = field(default_factory=dict)
 
     @property
     def text(self) -> Section:
@@ -176,6 +180,7 @@ def assemble(
     sections: Dict[str, Section] = {
         name: Section(name, bases.get(name, 0)) for name in cursors
     }
+    provenance: Dict[int, str] = {}
     for item, section_name, address in placed:
         section = sections[section_name]
         pad = address - section.end
@@ -194,6 +199,8 @@ def assemble(
             except EncodeError as exc:
                 raise AssembleError(str(exc)) from None
             section.data.extend(struct.pack("<I", word))
+            if item.guard is not None:
+                provenance[address] = item.guard
         elif isinstance(item, Directive):
             section.data.extend(_emit_directive(item, symbols))
 
@@ -205,7 +212,8 @@ def assemble(
         entry = sections[".text"].base
     else:
         raise AssembleError("no entry point and no .text section")
-    return AssembledImage(sections=sections, symbols=symbols, entry=entry)
+    return AssembledImage(sections=sections, symbols=symbols, entry=entry,
+                          provenance=provenance)
 
 
 def _emit_directive(item: Directive, symbols: Dict[str, int]) -> bytes:

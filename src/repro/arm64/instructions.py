@@ -32,6 +32,14 @@ class Instruction:
     mnemonic: str
     operands: Tuple[Operand, ...] = ()
     line: Optional[int] = None
+    #: Guard provenance: the guard class (``memory``/``branch``/``sp``/
+    #: ``x30``/``hoist``) when this instruction was *inserted by the
+    #: rewriter* as SFI overhead, else ``None`` (application code).  The
+    #: assembler turns this into an address->class map that rides along in
+    #: the ELF so the obs profiler can attribute cycles (DESIGN.md §9).
+    #: Excluded from equality so tagged output still compares equal to the
+    #: plain instructions tests construct.
+    guard: Optional[str] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         if not self.operands:

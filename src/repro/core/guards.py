@@ -32,6 +32,8 @@ from .constants import BASE_REG, LO32_REG, SCRATCH_REG
 
 __all__ = [
     "GuardError",
+    "GUARD_CLASSES",
+    "tag",
     "guard_address",
     "guarded_mem",
     "x30_guard",
@@ -41,14 +43,28 @@ __all__ = [
     "transform_indirect_branch",
 ]
 
+#: The guard taxonomy used for provenance and cycle attribution
+#: (DESIGN.md §9): each class matches one Table-3 transformation family.
+GUARD_CLASSES = ("memory", "branch", "sp", "x30", "hoist")
+
 
 class GuardError(ValueError):
     """Raised when an access cannot be made safe (malformed input)."""
 
 
-def guard_address(source: Reg, dest: Reg = SCRATCH_REG) -> Instruction:
+def tag(inst: Instruction, klass: str) -> Instruction:
+    """Mark ``inst`` as rewriter-inserted guard overhead of ``klass``."""
+    if klass not in GUARD_CLASSES:
+        raise GuardError(f"unknown guard class {klass!r}")
+    inst.guard = klass
+    return inst
+
+
+def guard_address(source: Reg, dest: Reg = SCRATCH_REG,
+                  klass: str = "memory") -> Instruction:
     """The basic guard: ``add dest, x21, wN, uxtw`` (§3)."""
-    return ins("add", dest, BASE_REG, Extended(source.as_32(), "uxtw"))
+    return tag(ins("add", dest, BASE_REG, Extended(source.as_32(), "uxtw")),
+               klass)
 
 
 def guarded_mem(offset_reg: Reg) -> Mem:
@@ -58,7 +74,8 @@ def guarded_mem(offset_reg: Reg) -> Mem:
 
 def x30_guard() -> Instruction:
     """Re-establish the link-register invariant after a restore (§4.2)."""
-    return ins("add", X[30], BASE_REG, Extended(X[30].as_32(), "uxtw"))
+    return tag(ins("add", X[30], BASE_REG, Extended(X[30].as_32(), "uxtw")),
+               "x30")
 
 
 def sp_guard_pair() -> List[Instruction]:
@@ -74,8 +91,8 @@ def sp_guard_pair() -> List[Instruction]:
     from ..arm64.registers import SP, WSP
 
     return [
-        ins("mov", LO32_REG.as_32(), WSP),
-        ins("add", SP, BASE_REG, LO32_REG),
+        tag(ins("mov", LO32_REG.as_32(), WSP), "sp"),
+        tag(ins("add", SP, BASE_REG, LO32_REG), "sp"),
     ]
 
 
@@ -91,18 +108,21 @@ def _offset_add(base: Reg, offset, dest: Reg = LO32_REG) -> Instruction:
     w_base = base.as_32()
     if isinstance(offset, Imm):
         if offset.value < 0:
-            return ins("sub", w_dest, w_base, Imm(-offset.value))
-        return ins("add", w_dest, w_base, offset)
+            return tag(ins("sub", w_dest, w_base, Imm(-offset.value)),
+                       "memory")
+        return tag(ins("add", w_dest, w_base, offset), "memory")
     if isinstance(offset, Reg):
-        return ins("add", w_dest, w_base, offset.as_32())
+        return tag(ins("add", w_dest, w_base, offset.as_32()), "memory")
     if isinstance(offset, Shifted):
-        return ins("add", w_dest, w_base,
-                   Shifted(offset.reg.as_32(), offset.kind, offset.amount))
+        return tag(ins("add", w_dest, w_base,
+                       Shifted(offset.reg.as_32(), offset.kind,
+                               offset.amount)), "memory")
     if isinstance(offset, Extended):
         # At 32-bit width, uxtw/sxtw with shift reduce to an lsl of the w
         # register (addresses are taken mod 2**32 by the guard anyway).
-        return ins("add", w_dest, w_base,
-                   Shifted(offset.reg.as_32(), "lsl", offset.amount or 0))
+        return tag(ins("add", w_dest, w_base,
+                       Shifted(offset.reg.as_32(), "lsl",
+                               offset.amount or 0)), "memory")
     raise GuardError(f"unsupported offset {offset!r}")
 
 
@@ -194,6 +214,6 @@ def transform_indirect_branch(inst: Instruction) -> List[Instruction]:
     if not isinstance(target, Reg):
         raise GuardError(f"bad indirect branch {inst}")
     return [
-        guard_address(target),
+        guard_address(target, klass="branch"),
         ins(inst.mnemonic, SCRATCH_REG),
     ]

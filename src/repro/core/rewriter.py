@@ -69,12 +69,39 @@ class RewriteStats:
             return 0.0
         return self.added_instructions / self.input_instructions
 
+    def guard_class_counts(self) -> Dict[str, int]:
+        """Guard *sites* by class — the single source of truth consumed by
+        ``repro.tools rewrite`` and ``repro.tools profile`` (DESIGN.md §9).
+
+        ``memory`` counts only guarded accesses that cost instructions;
+        zero-instruction guards are reported separately since the paper's
+        point is that they are free.
+        """
+        return {
+            "memory": self.memory_guards,
+            "zero-cost": self.zero_cost_guards,
+            "branch": self.branch_guards,
+            "sp": self.sp_guards,
+            "x30": self.x30_guards,
+            "hoist": self.hoist_guards,
+        }
+
 
 @dataclass
 class RewriteResult:
     program: Program
     stats: RewriteStats
     options: RewriteOptions
+
+    def guard_provenance(self) -> Dict[int, str]:
+        """Map text-instruction *index* -> guard class for rewriter-inserted
+        guards.  The assembler converts indices to addresses; the index form
+        exists so provenance can be checked before layout is known."""
+        return {
+            i: inst.guard
+            for i, inst in enumerate(self.program.text_instructions())
+            if inst.guard is not None
+        }
 
 
 def rewrite_assembly(text: str, options: RewriteOptions = O2) -> str:
@@ -140,7 +167,7 @@ def _rewrite_block(block: List[Instruction], out: Program,
         guard_at = plan.guards.get(i)
         if guard_at is not None:
             hoist_reg, base = guard_at
-            out.add(guards.guard_address(base, hoist_reg))
+            out.add(guards.guard_address(base, hoist_reg, klass="hoist"))
             stats.hoist_guards += 1
         redirect = plan.redirects.get(i)
         if redirect is not None:
@@ -293,7 +320,7 @@ def _rewrite_sp_access(inst: Instruction, out: Program,
     # Register-offset from sp (rare): fold sp into w22 and guard.
     from ..arm64.registers import WSP
 
-    out.add(ins("mov", LO32_REG.as_32(), WSP))
+    out.add(guards.tag(ins("mov", LO32_REG.as_32(), WSP), "memory"))
     out.add(guards._offset_add(LO32_REG, mem.offset))
     if (options.zero_instruction_guards
             and inst.mnemonic in isa.FULL_ADDRESSING):
@@ -327,9 +354,11 @@ def _rewrite_sp_write(block: List[Instruction], i: int, out: Program,
     if m == "mov" and isinstance(inst.operands[1], Reg) \
             and not inst.operands[1].is_sp:
         # mov sp, xN: zero-extend through w22, then the cheap add guard.
+        # The mov stands in for the application's own move; only the add
+        # is rewriter overhead.
         src = inst.operands[1]
         out.add(ins("mov", LO32_REG.as_32(), src.as_32()))
-        out.add(ins("add", SP, BASE_REG, LO32_REG))
+        out.add(guards.tag(ins("add", SP, BASE_REG, LO32_REG), "sp"))
         stats.sp_guards += 1
         return
 

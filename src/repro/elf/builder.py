@@ -21,7 +21,8 @@ def build_elf(image: AssembledImage, bss_size: int = 0) -> ElfImage:
     """Package assembled sections as an ELF executable.
 
     ``bss_size`` reserves extra zero-initialized memory after the .bss
-    section (memsz > filesz).
+    section (memsz > filesz).  Guard provenance recorded by the assembler
+    rides along on the image (serialized as a PT_NOTE by ``write_elf``).
     """
     segments = []
     for name in (".text", ".rodata", ".data", ".bss"):
@@ -48,7 +49,8 @@ def build_elf(image: AssembledImage, bss_size: int = 0) -> ElfImage:
                 flags=_SECTION_FLAGS[name],
             )
         )
-    return ElfImage(entry=image.entry, segments=segments)
+    return ElfImage(entry=image.entry, segments=segments,
+                    provenance=dict(image.provenance))
 
 
 def _next_free(image: AssembledImage) -> int:

@@ -1,10 +1,18 @@
-"""ELF64 serialization: header + program headers + segment payloads."""
+"""ELF64 serialization: header + program headers + segment payloads.
+
+Besides PT_LOAD segments, images may carry *guard provenance* — the map
+from rewriter-inserted guard instruction addresses to guard classes used
+by the obs profiler (DESIGN.md §9).  Provenance is serialized as one
+PT_NOTE segment (never mapped by the loader) so it survives a round trip
+through an on-disk ELF; images without the note simply load with an empty
+map.
+"""
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 __all__ = ["ElfError", "ElfSegment", "ElfImage", "PF_R", "PF_W", "PF_X",
            "read_elf", "write_elf"]
@@ -20,9 +28,46 @@ _EV_CURRENT = 1
 _ET_EXEC = 2
 _EM_AARCH64 = 183
 _PT_LOAD = 1
+_PT_NOTE = 4
 
 _EHDR = struct.Struct("<16sHHIQQQIHHHHHH")
 _PHDR = struct.Struct("<IIQQQQQQ")
+
+#: Guard-provenance note payload: magic, then (u64 address, u8 class
+#: index) entries sorted by address.  The class table is positional so
+#: the payload is byte-deterministic.
+_PROV_MAGIC = b"LFIPROV1"
+_PROV_CLASSES = ("memory", "branch", "sp", "x30", "hoist")
+_PROV_ENTRY = struct.Struct("<QB")
+
+
+def _pack_provenance(provenance: Dict[int, str]) -> bytes:
+    out = bytearray(_PROV_MAGIC)
+    out += struct.pack("<I", len(provenance))
+    for addr in sorted(provenance):
+        klass = provenance[addr]
+        try:
+            index = _PROV_CLASSES.index(klass)
+        except ValueError:
+            raise ElfError(f"unknown guard class {klass!r}") from None
+        out += _PROV_ENTRY.pack(addr, index)
+    return bytes(out)
+
+
+def _unpack_provenance(data: bytes) -> Dict[int, str]:
+    if data[:8] != _PROV_MAGIC:
+        raise ElfError("bad guard-provenance note magic")
+    (count,) = struct.unpack_from("<I", data, 8)
+    expected = 12 + count * _PROV_ENTRY.size
+    if len(data) < expected:
+        raise ElfError("truncated guard-provenance note")
+    out: Dict[int, str] = {}
+    for i in range(count):
+        addr, index = _PROV_ENTRY.unpack_from(data, 12 + i * _PROV_ENTRY.size)
+        if index >= len(_PROV_CLASSES):
+            raise ElfError(f"unknown guard class index {index}")
+        out[addr] = _PROV_CLASSES[index]
+    return out
 
 
 class ElfError(ValueError):
@@ -53,6 +98,10 @@ class ElfImage:
 
     entry: int
     segments: List[ElfSegment] = field(default_factory=list)
+    #: Guard instruction address (image offset) -> guard class.  Carried
+    #: out-of-band in a PT_NOTE segment; empty for native baselines and
+    #: foreign ELFs.
+    provenance: Dict[int, str] = field(default_factory=dict)
 
     def segment_containing(self, vaddr: int) -> ElfSegment:
         for segment in self.segments:
@@ -72,17 +121,25 @@ class ElfImage:
 
 def write_elf(image: ElfImage) -> bytes:
     """Serialize an image to ELF64 bytes."""
+    note = _pack_provenance(image.provenance) if image.provenance else None
     ehsize = _EHDR.size
     phentsize = _PHDR.size
-    phnum = len(image.segments)
+    phnum = len(image.segments) + (1 if note is not None else 0)
     header_size = ehsize + phentsize * phnum
+
+    # (p_type, flags, vaddr, memsz, data) per program header.
+    entries = [
+        (_PT_LOAD, s.flags, s.vaddr, s.memsz, s.data) for s in image.segments
+    ]
+    if note is not None:
+        entries.append((_PT_NOTE, PF_R, 0, len(note), note))
 
     payloads = []
     offset = header_size
-    for segment in image.segments:
+    for entry in entries:
         # Keep file offset congruent with vaddr modulo a page for realism.
-        payloads.append((offset, segment))
-        offset += segment.filesz
+        payloads.append((offset, entry))
+        offset += len(entry[4])
 
     out = bytearray()
     ident = _EI_MAGIC + bytes([_ELFCLASS64, _ELFDATA2LSB, _EV_CURRENT]) + bytes(9)
@@ -90,14 +147,14 @@ def write_elf(image: ElfImage) -> bytes:
         ident, _ET_EXEC, _EM_AARCH64, _EV_CURRENT, image.entry,
         ehsize, 0, 0, ehsize, phentsize, phnum, 0, 0, 0,
     )
-    for file_offset, segment in payloads:
+    for file_offset, (p_type, flags, vaddr, memsz, data) in payloads:
         out += _PHDR.pack(
-            _PT_LOAD, segment.flags, file_offset, segment.vaddr,
-            segment.vaddr, segment.filesz, segment.memsz, 0x4000,
+            p_type, flags, file_offset, vaddr,
+            vaddr, len(data), memsz, 0x4000,
         )
-    for file_offset, segment in payloads:
+    for file_offset, (_, _, _, _, data) in payloads:
         assert len(out) == file_offset
-        out += segment.data
+        out += data
     return bytes(out)
 
 
@@ -123,19 +180,24 @@ def read_elf(data: bytes) -> ElfImage:
         raise ElfError(f"unexpected phentsize {phentsize}")
 
     segments: List[ElfSegment] = []
+    provenance: Dict[int, str] = {}
     for i in range(phnum):
         p = _PHDR.unpack_from(data, phoff + i * phentsize)
         p_type, p_flags, p_offset, p_vaddr, _p_paddr, p_filesz, p_memsz, _ = p
-        if p_type != _PT_LOAD:
-            continue
         if p_offset + p_filesz > len(data):
             raise ElfError("segment payload out of range")
+        payload = bytes(data[p_offset:p_offset + p_filesz])
+        if p_type == _PT_NOTE and payload[:8] == _PROV_MAGIC:
+            provenance = _unpack_provenance(payload)
+            continue
+        if p_type != _PT_LOAD:
+            continue
         segments.append(
             ElfSegment(
                 vaddr=p_vaddr,
-                data=bytes(data[p_offset:p_offset + p_filesz]),
+                data=payload,
                 memsz=p_memsz,
                 flags=p_flags,
             )
         )
-    return ElfImage(entry=entry, segments=segments)
+    return ElfImage(entry=entry, segments=segments, provenance=provenance)

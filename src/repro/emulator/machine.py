@@ -31,6 +31,7 @@ from ..arm64.operands import (
     VecReg,
 )
 from ..arm64.registers import LR, Reg
+from ..hooks import HookRegistry
 from ..memory.pages import MemoryFault, PagedMemory
 from . import costs
 from .cpu import CpuState, MASK32, MASK64
@@ -204,12 +205,50 @@ class Machine:
         self._decode_cache: Dict[int, Tuple[Instruction, Callable, str,
                                             Tuple, Tuple]] = {}
         self._host_entries: Dict[int, object] = {}
-        #: Optional hook called at the top of every :meth:`run` slice with
-        #: ``(machine, fuel)``.  Fault injectors use it to corrupt state or
-        #: force traps at deterministic points; raising a :class:`Trap`
-        #: here is delivered to the runtime like any hardware trap.
-        self.run_hook: Optional[Callable[["Machine", Optional[int]], None]] = None
+        #: Multi-subscriber hook fired at the top of every :meth:`run`
+        #: slice with ``(machine, fuel)``.  Fault injectors use it to
+        #: corrupt state or force traps at deterministic points; raising a
+        #: :class:`Trap` here is delivered to the runtime like any hardware
+        #: trap.  The tracer subscribes alongside without clobbering.
+        self.run_hooks = HookRegistry()
+        self._legacy_run_hook: Optional[Callable] = None
+        #: Per-retired-instruction probes ``(machine, pc, klass, cycles)``
+        #: where ``cycles`` is this instruction's charge against the cost
+        #: model (deltas telescope: their sum equals :attr:`cycles`).
+        #: A plain list, not a registry — this is the emulator's hottest
+        #: path and the empty-list check must stay cheap.
+        self._step_probes: List[Callable] = []
         self._exec = _build_dispatch(self)
+
+    # -- hooks ---------------------------------------------------------------
+
+    @property
+    def run_hook(self) -> Optional[Callable]:
+        """Deprecated single-slot alias for :attr:`run_hooks`.
+
+        Assignment registers the callable in the registry, replacing
+        whatever the previous assignment registered (the old single-slot
+        contract).  New code should call ``run_hooks.add`` instead.
+        """
+        return self._legacy_run_hook
+
+    @run_hook.setter
+    def run_hook(self, fn: Optional[Callable]) -> None:
+        if self._legacy_run_hook is not None:
+            self.run_hooks.remove(self._legacy_run_hook)
+        self._legacy_run_hook = fn
+        if fn is not None:
+            self.run_hooks.add(fn)
+
+    def add_step_probe(self, probe: Callable) -> Callable:
+        """Subscribe a per-instruction cycle probe (obs profiler/tracer)."""
+        if probe not in self._step_probes:
+            self._step_probes.append(probe)
+        return probe
+
+    def remove_step_probe(self, probe: Callable) -> None:
+        if probe in self._step_probes:
+            self._step_probes.remove(probe)
 
     # -- host integration ----------------------------------------------------
 
@@ -224,12 +263,25 @@ class Machine:
     def cycles(self) -> float:
         return self._costing.cycles if self._costing else float(self.instret)
 
-    def add_cycles(self, amount: float) -> None:
-        """Charge a flat cost (used by the runtime for host-side work)."""
-        if self._costing:
-            self._costing.t_issue += amount
-            if self._costing.t_issue > self._costing.t_done:
-                self._costing.t_done = self._costing.t_issue
+    def add_cycles(self, amount: float, kind: str = "host") -> None:
+        """Charge a flat cost (used by the runtime for host-side work).
+
+        The charge is reported to step probes under ``kind`` with no pc,
+        so profiler attribution stays complete (sum of probe deltas ==
+        :attr:`cycles`).
+        """
+        costing = self._costing
+        if costing is None:
+            return
+        probes = self._step_probes
+        before = costing.cycles if probes else 0.0
+        costing.t_issue += amount
+        if costing.t_issue > costing.t_done:
+            costing.t_done = costing.t_issue
+        if probes:
+            delta = costing.cycles - before
+            for probe in probes:
+                probe(self, None, kind, delta)
 
     def invalidate_code(self, address: int, size: int) -> None:
         for addr in range(address, address + size, 4):
@@ -270,6 +322,10 @@ class Machine:
             raise MemTrap(pc, fault) from None
         self.instret += 1
         costing = self._costing
+        probes = self._step_probes
+        if probes:
+            before = costing.cycles if costing is not None \
+                else float(self.instret - 1)
         if costing is not None:
             extra = 0.0
             bw = 0.0
@@ -287,13 +343,19 @@ class Machine:
                         bw += model.l2_miss_issue
             bubble = self.model.taken_branch_cost if taken else 0.0
             costing.charge(klass, uses, defs, extra, bubble, bw)
+        if probes:
+            after = costing.cycles if costing is not None \
+                else float(self.instret)
+            delta = after - before
+            for probe in probes:
+                probe(self, pc, klass, delta)
         if not taken:
             cpu.pc = pc + 4
 
     def run(self, fuel: Optional[int] = None) -> None:
         """Run until a trap; raises OutOfFuel when the budget is exhausted."""
-        if self.run_hook is not None:
-            self.run_hook(self, fuel)
+        if self.run_hooks:
+            self.run_hooks(self, fuel)
         step = self.step
         if fuel is None:
             while True:

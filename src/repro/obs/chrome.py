@@ -1,0 +1,146 @@
+"""Chrome ``trace_event`` JSON exporter (loadable in Perfetto / about:tracing).
+
+The exporter maps obs events onto the Trace Event Format:
+
+* :class:`ContextSwitch` and :class:`RuntimeCallSpan` become complete
+  events (``ph: "X"``) with a cycle timestamp and duration;
+* :class:`InstSample`, :class:`FaultEvent`, :class:`ProcessEvent`, and
+  :class:`SupervisorEvent` become instant events (``ph: "i"``);
+* one metadata event (``ph: "M"``) names each sandbox's track.
+
+Timestamps are emulated cycles, not microseconds — viewers only assume a
+monotonic unit, and cycles are the deterministic clock of this repo.  The
+serializer uses ``sort_keys`` and compact separators so equal event
+streams produce byte-identical files (the CI determinism gate diffs two
+same-seed exports).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional
+
+from .events import (
+    ContextSwitch,
+    FaultEvent,
+    InstSample,
+    ProcessEvent,
+    RuntimeCallSpan,
+    SupervisorEvent,
+    TraceEvent,
+)
+
+__all__ = ["to_chrome_events", "export_chrome_trace", "validate_trace"]
+
+#: Phases the validator accepts (the subset this exporter emits).
+_KNOWN_PHASES = ("X", "i", "M")
+
+
+def _event_dict(event: TraceEvent) -> Optional[dict]:
+    """One obs event -> one trace_event dict (None to drop)."""
+    base = {"ts": event.ts, "pid": event.pid, "tid": 0}
+    if isinstance(event, ContextSwitch):
+        return dict(base, ph="X", cat="sched", name="slice",
+                    dur=event.dur,
+                    args={"instructions": event.instructions,
+                          "reason": event.reason})
+    if isinstance(event, RuntimeCallSpan):
+        return dict(base, ph="X", cat="runtime", name=event.call,
+                    dur=event.dur,
+                    args={"result": event.result, "blocked": event.blocked,
+                          "injected": event.injected})
+    if isinstance(event, InstSample):
+        return dict(base, ph="i", s="t", cat="sample",
+                    name=event.guard or event.klass,
+                    args={"pc": event.pc, "klass": event.klass,
+                          "guard": event.guard, "instret": event.instret})
+    if isinstance(event, FaultEvent):
+        return dict(base, ph="i", s="p", cat="fault", name=event.kind,
+                    args={"detail": event.detail, "pc": event.pc})
+    if isinstance(event, ProcessEvent):
+        return dict(base, ph="i", s="p", cat="process", name=event.kind,
+                    args={"detail": event.detail, "parent": event.parent,
+                          "exit_code": event.exit_code})
+    if isinstance(event, SupervisorEvent):
+        return dict(base, ph="i", s="p", cat="supervisor", name=event.kind,
+                    args={"name": event.name, "detail": event.detail})
+    return None
+
+
+def to_chrome_events(events: Iterable[TraceEvent]) -> List[dict]:
+    """Map obs events to trace_event dicts, prefixed by track metadata."""
+    out: List[dict] = []
+    seen_pids: List[int] = []
+    for event in events:
+        mapped = _event_dict(event)
+        if mapped is None:
+            continue
+        if event.pid not in seen_pids:
+            seen_pids.append(event.pid)
+        out.append(mapped)
+    meta = [
+        {"ph": "M", "ts": 0, "pid": pid, "tid": 0, "cat": "__metadata",
+         "name": "process_name",
+         "args": {"name": "host" if pid == 0 else f"sandbox {pid}"}}
+        for pid in sorted(seen_pids)
+    ]
+    return meta + out
+
+
+def export_chrome_trace(events: Iterable[TraceEvent],
+                        path: Optional[str] = None) -> str:
+    """Serialize events to a Chrome trace JSON string (and maybe a file).
+
+    Output is byte-deterministic for equal event streams: keys are sorted
+    and separators fixed, and every value in the document derives from the
+    deterministic emulation (no wall-clock, no ids).
+    """
+    document = {
+        "traceEvents": to_chrome_events(events),
+        "displayTimeUnit": "ns",
+        "otherData": {"clock": "emulated-cycles", "producer": "repro.obs"},
+    }
+    text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(text)
+    return text
+
+
+def validate_trace(text: str) -> List[str]:
+    """Check a serialized trace against the Chrome trace schema subset.
+
+    Returns a list of problems (empty = valid).  Used by the CI smoke job
+    and the ``trace --validate`` CLI flag.
+    """
+    problems: List[str] = []
+    try:
+        document = json.loads(text)
+    except ValueError as exc:
+        return [f"not valid JSON: {exc}"]
+    if not isinstance(document, dict):
+        return ["top level must be an object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: missing name")
+        if not isinstance(ev.get("pid"), int) \
+                or not isinstance(ev.get("tid"), int):
+            problems.append(f"{where}: pid/tid must be integers")
+        if not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"{where}: ts must be a number")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            problems.append(f"{where}: complete event missing dur")
+        if ph == "i" and ev.get("s") not in ("g", "p", "t"):
+            problems.append(f"{where}: instant event scope must be g/p/t")
+    return problems

@@ -50,7 +50,7 @@ class RunMetrics:
 
     def overhead_over(self, base: "RunMetrics") -> float:
         """Percent increase in cycles over a baseline run."""
-        return 100.0 * (self.cycles - base.cycles) / base.cycles
+        return overhead_pct(base.cycles, self.cycles)
 
 
 @dataclass(frozen=True)

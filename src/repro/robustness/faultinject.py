@@ -5,11 +5,14 @@ Related verification work (Sotoudeh & Yedidia) validates SFI systems by
 :class:`FaultInjector` draws a plan from a seeded PRNG and delivers it
 through two small hook points:
 
-* ``Machine.run_hook`` — fired at the top of every scheduling slice; used
+* ``Machine.run_hooks`` — fired at the top of every scheduling slice; used
   to flip bits in loaded text, corrupt guard sequences post-verification,
   and force trap storms on whichever sandbox is about to run;
-* ``Runtime.call_hook`` — fired before runtime-call dispatch; used to
+* ``Runtime.call_hooks`` — consulted before runtime-call dispatch; used to
   inject transient EINTR/ENOMEM-style errors into ``HANDLERS`` results.
+
+Both are multi-subscriber registries (:mod:`repro.hooks`), so the injector
+composes with the obs tracer on the same run.
 
 Everything is deterministic: the same seed against the same workload
 produces the same delivery log, byte for byte.  Containment is *not*
@@ -73,8 +76,8 @@ class FaultInjector:
         self._call_errs: Dict[int, int] = {}
         #: Remaining forced traps delivered to whatever runs next.
         self._storm = 0
-        runtime.machine.run_hook = self._on_slice
-        runtime.call_hook = self._on_call
+        runtime.machine.run_hooks.add(self._on_slice)
+        runtime.call_hooks.add(self._on_call)
 
     # -- planning ------------------------------------------------------------
 

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 from ..elf.format import ElfImage, read_elf
 from ..memory.pages import PERM_X
+from ..obs.events import SupervisorEvent
 from ..runtime.process import Process, ProcessState
 from ..runtime.runtime import Deadlock, ResourceQuota, Runtime, RuntimeError_
 
@@ -159,6 +160,10 @@ class Supervisor:
                             detail, pc)
         self._seq += 1
         self.incidents.append(incident)
+        self.runtime._emit(SupervisorEvent(
+            ts=self.runtime.machine.cycles, pid=pid, kind=kind, name=name,
+            detail=detail,
+        ))
         return incident
 
     def incident_log(self) -> List[str]:

@@ -104,6 +104,10 @@ def load_image(
         brk=heap_start,
         heap_start=heap_start,
         state=ProcessState.READY,
+        guard_map={
+            layout.base + addr: klass
+            for addr, klass in image.provenance.items()
+        },
     )
     stdin = StdStream(readable=True)
     stdout = StdStream()

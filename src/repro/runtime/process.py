@@ -67,6 +67,11 @@ class Process:
     block_pipe: Optional[Pipe] = None
     #: Total instructions retired while this process was scheduled.
     instructions: int = 0
+    #: Guard provenance rebased to absolute addresses: pc -> guard class
+    #: (``memory``/``branch``/``sp``/``x30``/``hoist``).  Filled by the
+    #: loader from the image's PT_NOTE; the obs profiler uses it to
+    #: attribute cycle charges to application vs guard code.
+    guard_map: Dict[int, str] = field(default_factory=dict)
 
     @property
     def base(self) -> int:

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional
 from ..core.verifier import VerifierPolicy
 from ..elf.format import ElfImage, read_elf
 from ..emulator.costs import CostModel
+from ..hooks import HookRegistry
 from ..emulator.machine import (
     BrkTrap,
     HltTrap,
@@ -36,6 +37,12 @@ from ..emulator.machine import (
 )
 from ..memory.layout import MAX_SANDBOXES_48BIT, PAGE_SIZE, SandboxLayout
 from ..memory.pages import PERM_RW, PagedMemory
+from ..obs.events import (
+    ContextSwitch,
+    FaultEvent,
+    ProcessEvent,
+    RuntimeCallSpan,
+)
 from .loader import DEFAULT_STACK_SIZE, load_image
 from .process import Process, ProcessState, StdStream
 from .scheduler import Scheduler
@@ -115,17 +122,47 @@ class Runtime:
         self._pending_call: Dict[int, int] = {}
         #: Per-pid resource quotas (set by a supervisor; inherited on fork).
         self.quotas: Dict[int, ResourceQuota] = {}
-        #: Optional hook consulted before every runtime-call dispatch with
-        #: ``(proc, call)``.  Returning an ``int`` short-circuits the
-        #: handler with that result — the fault injector uses this for
-        #: transient EINTR/ENOMEM-style errors.
-        self.call_hook: Optional[Callable[[Process, int], Optional[int]]] = None
+        #: Multi-subscriber hook consulted before every runtime-call
+        #: dispatch with ``(proc, call)``.  The first subscriber returning
+        #: an ``int`` short-circuits the handler with that result — the
+        #: fault injector uses this for transient EINTR/ENOMEM-style
+        #: errors; the tracer subscribes alongside and returns ``None``.
+        self.call_hooks = HookRegistry(first_result=True)
+        self._legacy_call_hook: Optional[Callable] = None
+        #: The attached obs event bus, or ``None``.  Set by
+        #: :meth:`repro.obs.Tracer.attach`; every emission is guarded by a
+        #: ``None`` check so untraced runs pay one attribute load.
+        self.tracer = None
         #: True while the machine is executing sandbox code (as opposed to
         #: host-side runtime work); used by the containment auditor to
         #: attribute memory writes.
         self._in_guest = False
         for call in RuntimeCall.ALL:
             self.machine.register_host_entry(entry_address(call), call)
+
+    # -- hooks --------------------------------------------------------------------
+
+    @property
+    def call_hook(self) -> Optional[Callable]:
+        """Deprecated single-slot alias for :attr:`call_hooks`.
+
+        Assignment registers into the registry, replacing the previous
+        assignment's registration (the old single-slot contract).  New
+        code should call ``call_hooks.add`` instead.
+        """
+        return self._legacy_call_hook
+
+    @call_hook.setter
+    def call_hook(self, fn: Optional[Callable]) -> None:
+        if self._legacy_call_hook is not None:
+            self.call_hooks.remove(self._legacy_call_hook)
+        self._legacy_call_hook = fn
+        if fn is not None:
+            self.call_hooks.add(fn)
+
+    def _emit(self, event) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(event)
 
     # -- spawning ---------------------------------------------------------------
 
@@ -153,6 +190,9 @@ class Runtime:
                           policy=policy, stack_size=self.stack_size)
         self.processes[pid] = proc
         self.scheduler.add(proc)
+        self._emit(ProcessEvent(ts=self.machine.cycles, pid=pid,
+                                kind="spawn",
+                                detail="native" if not verify else ""))
         return proc
 
     # -- resource quotas -----------------------------------------------------------
@@ -199,6 +239,8 @@ class Runtime:
     def terminate(self, proc: Process, code: int) -> None:
         proc.state = ProcessState.ZOMBIE
         proc.exit_code = code
+        self._emit(ProcessEvent(ts=self.machine.cycles, pid=proc.pid,
+                                kind="exit", exit_code=code))
         proc.block_pipe = None
         self._pending_call.pop(proc.pid, None)
         # Close pipe ends (waking peers) but keep std streams readable so
@@ -267,6 +309,8 @@ class Runtime:
             pid=pid, layout=layout, registers=regs, parent=parent.pid,
             brk=rebase(parent.brk), heap_start=rebase(parent.heap_start),
             state=ProcessState.READY,
+            guard_map={rebase(addr): klass
+                       for addr, klass in parent.guard_map.items()},
         )
         child.fds = dict(parent.fds)  # shared descriptions, like Unix
         for obj in child.fds.values():
@@ -277,6 +321,9 @@ class Runtime:
         self.processes[pid] = child
         parent.children.append(pid)
         self.scheduler.add(child)
+        self._emit(ProcessEvent(ts=self.machine.cycles, pid=pid,
+                                kind="fork", parent=parent.pid,
+                                detail="cow" if cow else "eager"))
         return child
 
     def mmap_allocate(self, proc: Process, length: int) -> Optional[int]:
@@ -319,36 +366,58 @@ class Runtime:
 
     def _dispatch(self, proc: Process, call: int) -> None:
         handler = HANDLERS.get(call)
+        entry_cycles = self.machine.cycles
         self.machine.add_cycles(
             YIELD_CYCLES if call in (RuntimeCall.YIELD, RuntimeCall.YIELD_TO)
-            else CALL_OVERHEAD_CYCLES
+            else CALL_OVERHEAD_CYCLES,
+            kind="call",
         )
         if handler is None:
             self._fault(proc, "badcall", f"unknown runtime call {call}")
             return
-        if self.call_hook is not None:
-            injected = self.call_hook(proc, call)
-            if injected is not None:
-                self.complete_call(proc, injected)
-                self.scheduler.add_front(proc)
-                return
+        injected = self.call_hooks(proc, call) if self.call_hooks else None
+        if injected is not None:
+            self.complete_call(proc, injected)
+            self.scheduler.add_front(proc)
+            self._emit_call_span(proc, call, entry_cycles, injected,
+                                 blocked=False, injected=True)
+            return
         proc.block_pipe = None
         result = handler(self, proc)
         if result is BLOCK:
             proc.state = ProcessState.BLOCKED
             proc.block_reason = "call"
             self._pending_call[proc.pid] = call
+            self._emit_call_span(proc, call, entry_cycles, None, blocked=True)
             return
         if result is SWITCH or result is EXITED:
+            self._emit_call_span(proc, call, entry_cycles, None, blocked=False)
             return
         self.complete_call(proc, result)
         self.scheduler.add_front(proc)
+        self._emit_call_span(proc, call, entry_cycles, result, blocked=False)
+
+    def _emit_call_span(self, proc: Process, call: int, entry_cycles: float,
+                        result: Optional[int], blocked: bool,
+                        injected: bool = False) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.emit(RuntimeCallSpan(
+            ts=entry_cycles,
+            pid=proc.pid,
+            call=RuntimeCall.NAMES.get(call, f"call{call}"),
+            dur=self.machine.cycles - entry_cycles,
+            result=result,
+            blocked=blocked,
+            injected=injected,
+        ))
 
     def _fault(self, proc: Process, kind: str, detail: str,
                status: int = 128 + 11) -> None:
-        self.faults.append(
-            ProcessFault(proc.pid, kind, detail, proc.registers.get("pc", 0))
-        )
+        pc = proc.registers.get("pc", 0)
+        self.faults.append(ProcessFault(proc.pid, kind, detail, pc))
+        self._emit(FaultEvent(ts=self.machine.cycles, pid=proc.pid,
+                              kind=kind, detail=detail, pc=pc))
         self.terminate(proc, status)  # SIGSEGV-style status by default
 
     # -- main loop -----------------------------------------------------------------
@@ -402,6 +471,8 @@ class Runtime:
     def _run_one(self, proc: Process) -> None:
         self._switch_to(proc)
         before = self.machine.instret
+        slice_start = self.machine.cycles
+        reason = "exit"
         try:
             self._in_guest = True
             try:
@@ -409,22 +480,44 @@ class Runtime:
             finally:
                 self._in_guest = False
         except OutOfFuel:
+            reason = "preempt"
             self._save(proc)
             self.scheduler.requeue(proc)  # timer preemption
         except HostCallTrap as trap:
+            reason = "call"
             self._save(proc)
+            slice_end = self.machine.cycles
+            self._emit_slice(proc, slice_start, slice_end,
+                             self.machine.instret - before, reason)
             self._dispatch(proc, call_for_entry(trap.entry))
+            slice_start = None  # already emitted, before the call span
         except MemTrap as trap:
+            reason = "fault"
             self._save(proc)
             self._fault(proc, "segv", str(trap))
         except (UnknownInstructionTrap, SvcTrap, BrkTrap, HltTrap) as trap:
+            reason = "fault"
             self._save(proc)
             self._fault(proc, "sigill", str(trap))
         finally:
             proc.instructions += self.machine.instret - before
             if proc.state == ProcessState.RUNNING:
                 proc.state = ProcessState.READY
+        if slice_start is not None:
+            self._emit_slice(proc, slice_start, self.machine.cycles,
+                             self.machine.instret - before, reason)
         self._check_instruction_quota(proc)
+
+    def _emit_slice(self, proc: Process, start: float, end: float,
+                    instructions: int, reason: str) -> None:
+        if self.tracer is None:
+            return
+        if proc.state == ProcessState.BLOCKED:
+            reason = "block"
+        self.tracer.emit(ContextSwitch(ts=start, pid=proc.pid,
+                                       dur=end - start,
+                                       instructions=instructions,
+                                       reason=reason))
 
     def _check_instruction_quota(self, proc: Process) -> None:
         quota = self.quotas.get(proc.pid)

@@ -9,7 +9,7 @@ from typing import List, Optional
 from ..arm64.decoder import decode_word
 from ..arm64.parser import parse_assembly
 from ..core.options import O0, O1, O2, O2_NO_LOADS, RewriteOptions
-from ..core.rewriter import RewriteError, rewrite_assembly
+from ..core.rewriter import RewriteError
 from ..core.verifier import VerifierPolicy, verify_elf
 from ..elf.format import read_elf, write_elf
 from ..emulator.costs import MACHINE_MODELS
@@ -29,14 +29,27 @@ def _options_from(args) -> RewriteOptions:
 
 
 def _cmd_rewrite(args) -> int:
+    from ..arm64.parser import parse_assembly
+    from ..arm64.printer import print_assembly
+    from ..core.rewriter import rewrite_program
+
     text = _read_text(args.input)
     try:
-        out = rewrite_assembly(text, _options_from(args))
+        result = rewrite_program(parse_assembly(text), _options_from(args))
     except RewriteError as exc:
         print(f"rewrite error: {exc}", file=sys.stderr)
         return 1
-    _write_text(args.output, out)
+    _write_text(args.output, print_assembly(result.program))
+    if args.stats:
+        _print_guard_counts(result.stats)
     return 0
+
+
+def _print_guard_counts(stats, file=None) -> None:
+    """Guard sites by class — shared by ``rewrite`` and ``profile``."""
+    counts = stats.guard_class_counts()
+    line = " ".join(f"{name}={counts[name]}" for name in sorted(counts))
+    print(f"guards: {line}", file=file if file is not None else sys.stderr)
 
 
 def _cmd_compile(args) -> int:
@@ -132,6 +145,100 @@ def _cmd_fuzz(args) -> int:
     return 0
 
 
+def _spawn_workload(args, setup=None):
+    """(runtime, proc, rewrite_stats) for an ELF path or ``--bench`` name.
+
+    ``setup(runtime)`` runs before the spawn so observers attached there
+    (tracer, profiler) see the process-lifecycle events too.
+    """
+    from ..workloads.spec import arena_bss_size, build_benchmark
+
+    model = MACHINE_MODELS[args.machine]
+    runtime = Runtime(model=model)
+    if setup is not None:
+        setup(runtime)
+    if args.bench:
+        asm = build_benchmark(args.input, target_instructions=args.target)
+        output = compile_lfi(asm, options=_options_from(args),
+                             bss_size=arena_bss_size(args.input))
+        image, stats = output.elf, output.rewrite.stats
+    else:
+        with open(args.input, "rb") as handle:
+            image = read_elf(handle.read())
+        stats = None
+    policy = VerifierPolicy(sandbox_loads=not getattr(args, "no_loads", False))
+    proc = runtime.spawn(image, verify=not args.unsafe_no_verify,
+                         policy=policy)
+    return runtime, proc, stats
+
+
+def _cmd_trace(args) -> int:
+    from ..obs import MetricsHub, Tracer, export_chrome_trace, validate_trace
+
+    tracer = Tracer(sample_every=args.sample)
+    hub = MetricsHub() if args.metrics else None
+
+    def setup(runtime):
+        tracer.attach(runtime)
+        if hub is not None:
+            hub.attach(tracer, runtime)
+
+    runtime, proc, _ = _spawn_workload(args, setup=setup)
+    code = runtime.run_until_exit(proc, max_instructions=args.max_insts)
+    if hub is not None:
+        hub.collect(runtime)
+        with open(args.metrics, "w") as handle:
+            handle.write(hub.snapshot())
+    text = export_chrome_trace(tracer.events, path=args.output)
+    print(f"[{len(tracer.events)} events -> {args.output}]", file=sys.stderr)
+    if args.validate:
+        problems = validate_trace(text)
+        for problem in problems[:10]:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+    return code
+
+
+def _cmd_profile(args) -> int:
+    from ..obs import GuardProfiler
+    from ..perf.measure import overhead_pct
+
+    profiler = GuardProfiler()
+    runtime, proc, stats = _spawn_workload(args, setup=profiler.attach)
+    code = runtime.run_until_exit(proc, max_instructions=args.max_insts)
+    profiler.detach()
+    if stats is not None:
+        _print_guard_counts(stats, file=sys.stdout)
+    print(profiler.report())
+    total = profiler.total_cycles()
+    print(f"attributed {total:.1f} of "
+          f"{runtime.machine.cycles - profiler.start_cycles:.1f} cycles")
+    if args.bench:
+        from ..perf.measure import native_variant, run_variant
+        from ..workloads.spec import arena_bss_size, build_benchmark
+
+        asm = build_benchmark(args.input, target_instructions=args.target)
+        native = run_variant(asm, arena_bss_size(args.input),
+                             native_variant(), MACHINE_MODELS[args.machine])
+        overhead_cycles = runtime.machine.cycles - native.cycles
+        print(f"overhead vs native: "
+              f"{overhead_pct(native.cycles, runtime.machine.cycles):+.2f}% "
+              f"({overhead_cycles:+.1f} cycles)")
+        decomposed = profiler.decompose_overhead(overhead_cycles)
+        print("decomposition (amortized; sums to the overhead):")
+        for bucket in sorted(decomposed):
+            print(f"  {bucket:<8} "
+                  f"{100.0 * decomposed[bucket] / native.cycles:+6.2f}% "
+                  f"({decomposed[bucket]:+.1f} cycles)")
+        standalone = sum(profiler.standalone.values())
+        if standalone > 0:
+            hidden = max(0.0, 1.0 - overhead_cycles / standalone)
+            print(f"guard cost hidden by overlap: {100.0 * hidden:.1f}% "
+                  f"of {standalone:.1f} standalone cycles")
+    return code
+
+
 def _cmd_disasm(args) -> int:
     with open(args.input, "rb") as handle:
         image = read_elf(handle.read())
@@ -181,6 +288,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("rewrite", help="insert SFI guards into assembly")
     p.add_argument("input", help="GNU assembly file ('-' for stdin)")
     p.add_argument("-o", "--output", default="-")
+    p.add_argument("--stats", action="store_true",
+                   help="print guard-site counts by class to stderr")
     _add_opt_level(p)
     p.set_defaults(func=_cmd_rewrite)
 
@@ -236,6 +345,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-iteration stdout")
     p.set_defaults(func=_cmd_fuzz)
+
+    def _add_workload_args(p) -> None:
+        p.add_argument("input", help="sandbox ELF path, or a Table 4 "
+                                     "benchmark name with --bench")
+        p.add_argument("--bench", action="store_true",
+                       help="treat INPUT as a workload name "
+                            "(e.g. 505.mcf) and compile it first")
+        p.add_argument("--machine", choices=sorted(MACHINE_MODELS),
+                       default="apple-m1",
+                       help="cycle model to run under (required for "
+                            "cycle-based timestamps)")
+        p.add_argument("--target", type=int, default=60_000,
+                       help="target instruction count for --bench")
+        p.add_argument("--unsafe-no-verify", action="store_true")
+        p.add_argument("--no-loads", action="store_true")
+        p.add_argument("--max-insts", type=int, default=None)
+        _add_opt_level(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a workload with the obs tracer; export a Chrome trace",
+    )
+    _add_workload_args(p)
+    p.add_argument("-o", "--output", default="trace.json",
+                   help="Chrome trace_event JSON output path")
+    p.add_argument("--sample", type=int, default=0, metavar="N",
+                   help="also sample every Nth retired instruction")
+    p.add_argument("--validate", action="store_true",
+                   help="check the exported JSON against the trace schema")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="also write a metrics snapshot to PATH")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="attribute cycles to app vs guard classes (Table 4 decomposed)",
+    )
+    _add_workload_args(p)
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("disasm", help="disassemble an ELF text segment")
     p.add_argument("input")

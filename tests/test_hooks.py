@@ -1,0 +1,118 @@
+"""Multi-subscriber hook registry: semantics, aliases, and composition.
+
+The registry replaced the single-slot ``Machine.run_hook`` /
+``Runtime.call_hook`` attributes (which silently clobbered each other);
+the key property under test is that a FaultInjector and a Tracer can
+observe the same run simultaneously.
+"""
+
+import pytest
+
+from repro.hooks import HookRegistry
+from repro.emulator import Machine
+from repro.memory import PagedMemory
+from repro.obs import RuntimeCallSpan, Tracer
+from repro.robustness import FaultInjector
+from repro.runtime import Runtime
+from repro.toolchain import compile_lfi
+from repro.workloads.rtlib import prologue, rt_exit
+
+
+EXIT0 = prologue() + "    mov x0, #0\n" + rt_exit()
+
+
+class TestHookRegistry:
+    def test_notify_mode_calls_all_in_order(self):
+        seen = []
+        hooks = HookRegistry()
+        hooks.add(lambda x: seen.append(("a", x)))
+        hooks.add(lambda x: seen.append(("b", x)))
+        hooks(7)
+        assert seen == [("a", 7), ("b", 7)]
+
+    def test_add_is_idempotent(self):
+        hooks = HookRegistry()
+        fn = lambda: None  # noqa: E731
+        hooks.add(fn)
+        hooks.add(fn)
+        assert len(hooks) == 1
+
+    def test_remove_and_bool(self):
+        hooks = HookRegistry()
+        fn = hooks.add(lambda: None)
+        assert hooks and fn in hooks
+        hooks.remove(fn)
+        assert not hooks and fn not in hooks
+        hooks.remove(fn)  # removing twice is a no-op
+
+    def test_first_result_short_circuits(self):
+        calls = []
+        hooks = HookRegistry(first_result=True)
+        hooks.add(lambda: calls.append("a"))  # returns None
+        hooks.add(lambda: 41)
+        hooks.add(lambda: calls.append("never"))
+        assert hooks() == 41
+        assert calls == ["a"]
+
+    def test_first_result_all_none(self):
+        hooks = HookRegistry(first_result=True)
+        hooks.add(lambda: None)
+        assert hooks() is None
+
+
+class TestDeprecatedAliases:
+    def test_machine_run_hook_alias_replaces(self):
+        machine = Machine(PagedMemory())
+        first, second = (lambda m, f: None), (lambda m, f: None)
+        machine.run_hook = first
+        machine.run_hook = second
+        assert machine.run_hook is second
+        assert first not in machine.run_hooks
+        assert second in machine.run_hooks
+
+    def test_machine_alias_composes_with_registry(self):
+        machine = Machine(PagedMemory())
+        keeper = machine.run_hooks.add(lambda m, f: None)
+        machine.run_hook = lambda m, f: None
+        machine.run_hook = None
+        assert keeper in machine.run_hooks  # unrelated subscribers survive
+
+    def test_runtime_call_hook_alias(self):
+        runtime = Runtime()
+        fn = lambda proc, call: None  # noqa: E731
+        runtime.call_hook = fn
+        assert runtime.call_hook is fn
+        assert fn in runtime.call_hooks
+        runtime.call_hook = None
+        assert fn not in runtime.call_hooks
+
+
+class TestComposition:
+    def test_injector_and_tracer_share_a_run(self):
+        runtime = Runtime()
+        tracer = Tracer().attach(runtime)
+        injector = FaultInjector(runtime, seed=3)
+        assert injector is not None
+        proc = runtime.spawn(compile_lfi(EXIT0).elf, verify=True)
+        assert runtime.run_until_exit(proc) == 0
+        # The tracer saw the exit call even with the injector installed.
+        spans = [e for e in tracer.events
+                 if isinstance(e, RuntimeCallSpan) and e.call == "exit"]
+        assert spans
+        assert runtime.call_hooks  # injector still registered
+
+    def test_call_hook_injection_traced_as_injected(self):
+        runtime = Runtime()
+        tracer = Tracer().attach(runtime)
+        runtime.call_hooks.add(lambda proc, call: 99)
+        proc = runtime.spawn(compile_lfi(EXIT0).elf, verify=True)
+        # Every call short-circuits with 99, so exit never runs its
+        # handler; the sandbox runs on past the call and eventually
+        # faults or exits — either way the spans are marked injected.
+        try:
+            runtime.run_until_exit(proc, max_instructions=50_000)
+        except Exception:
+            pass
+        spans = [e for e in tracer.events if isinstance(e, RuntimeCallSpan)]
+        assert spans and all(s.injected for s in spans)
+        assert all(s.result == 99 for s in spans)
