@@ -15,6 +15,7 @@ inventory and substitution map, and EXPERIMENTS.md for paper-vs-measured
 results.
 """
 
+from .errors import ReproError
 from .core import (
     O0,
     O1,
@@ -35,6 +36,7 @@ from .toolchain import CompileOutput, compile_lfi, compile_native
 __version__ = "1.0.0"
 
 __all__ = [
+    "ReproError",
     "O0",
     "O1",
     "O2",

@@ -15,16 +15,15 @@ from .constants import (
     RESERVED_REGS,
     SCRATCH_REG,
 )
+from ..errors import GuardError, RewriteError, VerificationError
 from .options import O0, O1, O2, O2_NO_LOADS, OPT_LEVELS, RewriteOptions
 from .rewriter import (
-    RewriteError,
     RewriteResult,
     RewriteStats,
     rewrite_assembly,
     rewrite_program,
 )
 from .verifier import (
-    VerificationError,
     VerificationResult,
     Verifier,
     VerifierPolicy,
@@ -46,6 +45,7 @@ __all__ = [
     "O2_NO_LOADS",
     "OPT_LEVELS",
     "RewriteOptions",
+    "GuardError",
     "RewriteError",
     "RewriteResult",
     "RewriteStats",

@@ -28,10 +28,11 @@ from ..arm64.operands import (
     Shifted,
 )
 from ..arm64.registers import Reg, X
+from ..errors import GuardError as _GuardError
+from ..errors import deprecated_reexport
 from .constants import BASE_REG, LO32_REG, SCRATCH_REG
 
 __all__ = [
-    "GuardError",
     "GUARD_CLASSES",
     "tag",
     "guard_address",
@@ -48,14 +49,15 @@ __all__ = [
 GUARD_CLASSES = ("memory", "branch", "sp", "x30", "hoist")
 
 
-class GuardError(ValueError):
-    """Raised when an access cannot be made safe (malformed input)."""
+# GuardError now lives in repro.errors; importing it from here still
+# works for one release but emits a DeprecationWarning.
+__getattr__ = deprecated_reexport(__name__, {"GuardError": _GuardError})
 
 
 def tag(inst: Instruction, klass: str) -> Instruction:
     """Mark ``inst`` as rewriter-inserted guard overhead of ``klass``."""
     if klass not in GUARD_CLASSES:
-        raise GuardError(f"unknown guard class {klass!r}")
+        raise _GuardError(f"unknown guard class {klass!r}")
     inst.guard = klass
     return inst
 
@@ -123,7 +125,7 @@ def _offset_add(base: Reg, offset, dest: Reg = LO32_REG) -> Instruction:
         return tag(ins("add", w_dest, w_base,
                        Shifted(offset.reg.as_32(), "lsl",
                                offset.amount or 0)), "memory")
-    raise GuardError(f"unsupported offset {offset!r}")
+    raise _GuardError(f"unsupported offset {offset!r}")
 
 
 def transform_memory_guarded(inst: Instruction) -> List[Instruction]:
@@ -131,7 +133,7 @@ def transform_memory_guarded(inst: Instruction) -> List[Instruction]:
     mode.  Only valid for mnemonics with full addressing-mode support."""
     mem = inst.mem
     if mem is None:
-        raise GuardError(f"not a memory instruction: {inst}")
+        raise _GuardError(f"not a memory instruction: {inst}")
     base = mem.base
     assert inst.mnemonic in isa.FULL_ADDRESSING
 
@@ -174,7 +176,7 @@ def transform_memory_basic(inst: Instruction) -> List[Instruction]:
     """
     mem = inst.mem
     if mem is None:
-        raise GuardError(f"not a memory instruction: {inst}")
+        raise _GuardError(f"not a memory instruction: {inst}")
     base = mem.base
 
     if mem.mode == PRE_INDEX:
@@ -195,7 +197,7 @@ def transform_memory_basic(inst: Instruction) -> List[Instruction]:
     if isinstance(offset, Imm):
         # Immediates ride along: the guard regions cover them (§3).
         if inst.mnemonic in isa.BASE_ONLY_MEMORY and offset.value:
-            raise GuardError(f"{inst}: immediate not allowed")
+            raise _GuardError(f"{inst}: immediate not allowed")
         return [
             guard_address(base),
             _with_mem(inst, Mem(SCRATCH_REG, offset)),
@@ -212,7 +214,7 @@ def transform_indirect_branch(inst: Instruction) -> List[Instruction]:
     """Guard ``br``/``blr``/``ret`` through the scratch register (§3)."""
     target = inst.operands[0] if inst.operands else X[30]
     if not isinstance(target, Reg):
-        raise GuardError(f"bad indirect branch {inst}")
+        raise _GuardError(f"bad indirect branch {inst}")
     return [
         guard_address(target, klass="branch"),
         ins(inst.mnemonic, SCRATCH_REG),

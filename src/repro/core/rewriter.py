@@ -22,6 +22,8 @@ from ..arm64.instructions import Instruction, ins
 from ..arm64.operands import Extended, Imm, Label, Mem, OFFSET, Shifted
 from ..arm64.program import Directive, LabelDef, Program
 from ..arm64.registers import Reg, SP, X
+from ..errors import RewriteError as _RewriteError
+from ..errors import deprecated_reexport
 from . import guards
 from .branches import fix_branch_ranges
 from .constants import (
@@ -35,12 +37,13 @@ from .constants import (
 from .hoisting import HoistPlan, plan_hoisting
 from .options import O2, RewriteOptions
 
-__all__ = ["RewriteError", "RewriteStats", "RewriteResult", "rewrite_program",
+__all__ = ["RewriteStats", "RewriteResult", "rewrite_program",
            "rewrite_assembly"]
 
 
-class RewriteError(ValueError):
-    """The input assembly cannot be sandboxed."""
+# RewriteError now lives in repro.errors; importing it from here still
+# works for one release but emits a DeprecationWarning.
+__getattr__ = deprecated_reexport(__name__, {"RewriteError": _RewriteError})
 
 
 @dataclass
@@ -214,7 +217,7 @@ def _check_reserved(block: List[Instruction], i: int) -> None:
         return
     for reg in list(inst.uses()) + list(inst.defs()):
         if not reg.is_vector and reg.index in RESERVED_INDICES:
-            raise RewriteError(
+            raise _RewriteError(
                 f"input uses reserved register {reg}: {inst}"
             )
 
@@ -225,11 +228,11 @@ def _rewrite_instruction(block: List[Instruction], i: int, out: Program,
     m = inst.mnemonic
 
     if m in isa.UNSAFE_SYSTEM:
-        raise RewriteError(f"unsafe instruction in input: {inst}")
+        raise _RewriteError(f"unsafe instruction in input: {inst}")
     if not options.allow_exclusives and (
         m in isa.EXCLUSIVE_MEMORY or m in ("ldar", "stlr")
     ):
-        raise RewriteError(
+        raise _RewriteError(
             f"exclusives disallowed by hardening policy: {inst}"
         )
 

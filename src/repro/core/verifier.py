@@ -29,6 +29,8 @@ from ..arm64.decoder import decode_word
 from ..arm64.instructions import Instruction
 from ..arm64.operands import Extended, Imm, Mem, OFFSET
 from ..arm64.registers import Reg
+from ..errors import VerificationError as _VerificationError
+from ..errors import deprecated_reexport
 from .constants import (
     ADDRESS_INDICES,
     BRANCH_TARGET_INDICES,
@@ -81,13 +83,16 @@ class VerificationResult:
     def raise_if_failed(self) -> None:
         if not self.ok:
             summary = "; ".join(str(v) for v in self.violations[:5])
-            raise VerificationError(
+            raise _VerificationError(
                 f"{len(self.violations)} violation(s): {summary}"
             )
 
 
-class VerificationError(Exception):
-    """Raised when a binary fails verification and was required to pass."""
+# VerificationError now lives in repro.errors; importing it from here
+# still works for one release but emits a DeprecationWarning.
+__getattr__ = deprecated_reexport(__name__, {
+    "VerificationError": _VerificationError,
+})
 
 
 def _is_guard(inst: Instruction, dest_index: int) -> bool:

@@ -6,8 +6,8 @@ The paper's runtime loads verified ELF executables into sandbox slots
 entry point, writable and readable without external tooling.
 """
 
+from ..errors import ElfError
 from .format import (
-    ElfError,
     ElfImage,
     ElfSegment,
     PF_R,

@@ -14,8 +14,15 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-__all__ = ["ElfError", "ElfSegment", "ElfImage", "PF_R", "PF_W", "PF_X",
+from ..errors import ElfError as _ElfError
+from ..errors import deprecated_reexport
+
+__all__ = ["ElfSegment", "ElfImage", "PF_R", "PF_W", "PF_X",
            "read_elf", "write_elf"]
+
+# ElfError now lives in repro.errors; importing it from here still
+# works for one release but emits a DeprecationWarning.
+__getattr__ = deprecated_reexport(__name__, {"ElfError": _ElfError})
 
 PF_X = 0x1
 PF_W = 0x2
@@ -49,29 +56,25 @@ def _pack_provenance(provenance: Dict[int, str]) -> bytes:
         try:
             index = _PROV_CLASSES.index(klass)
         except ValueError:
-            raise ElfError(f"unknown guard class {klass!r}") from None
+            raise _ElfError(f"unknown guard class {klass!r}") from None
         out += _PROV_ENTRY.pack(addr, index)
     return bytes(out)
 
 
 def _unpack_provenance(data: bytes) -> Dict[int, str]:
     if data[:8] != _PROV_MAGIC:
-        raise ElfError("bad guard-provenance note magic")
+        raise _ElfError("bad guard-provenance note magic")
     (count,) = struct.unpack_from("<I", data, 8)
     expected = 12 + count * _PROV_ENTRY.size
     if len(data) < expected:
-        raise ElfError("truncated guard-provenance note")
+        raise _ElfError("truncated guard-provenance note")
     out: Dict[int, str] = {}
     for i in range(count):
         addr, index = _PROV_ENTRY.unpack_from(data, 12 + i * _PROV_ENTRY.size)
         if index >= len(_PROV_CLASSES):
-            raise ElfError(f"unknown guard class index {index}")
+            raise _ElfError(f"unknown guard class index {index}")
         out[addr] = _PROV_CLASSES[index]
     return out
-
-
-class ElfError(ValueError):
-    """Raised for malformed ELF input."""
 
 
 @dataclass
@@ -85,7 +88,7 @@ class ElfSegment:
 
     def __post_init__(self):
         if self.memsz < len(self.data):
-            raise ElfError("memsz smaller than file data")
+            raise _ElfError("memsz smaller than file data")
 
     @property
     def filesz(self) -> int:
@@ -107,14 +110,14 @@ class ElfImage:
         for segment in self.segments:
             if segment.vaddr <= vaddr < segment.vaddr + segment.memsz:
                 return segment
-        raise ElfError(f"no segment contains {vaddr:#x}")
+        raise _ElfError(f"no segment contains {vaddr:#x}")
 
     @property
     def text(self) -> ElfSegment:
         """The (single) executable segment."""
         executable = [s for s in self.segments if s.flags & PF_X]
         if len(executable) != 1:
-            raise ElfError(f"expected 1 executable segment, found "
+            raise _ElfError(f"expected 1 executable segment, found "
                            f"{len(executable)}")
         return executable[0]
 
@@ -161,23 +164,23 @@ def write_elf(image: ElfImage) -> bytes:
 def read_elf(data: bytes) -> ElfImage:
     """Parse ELF64 bytes back into an image."""
     if len(data) < _EHDR.size:
-        raise ElfError("truncated ELF header")
+        raise _ElfError("truncated ELF header")
     fields = _EHDR.unpack_from(data, 0)
     ident = fields[0]
     if ident[:4] != _EI_MAGIC:
-        raise ElfError("bad ELF magic")
+        raise _ElfError("bad ELF magic")
     if ident[4] != _ELFCLASS64 or ident[5] != _ELFDATA2LSB:
-        raise ElfError("not a little-endian ELF64 file")
+        raise _ElfError("not a little-endian ELF64 file")
     e_type, e_machine = fields[1], fields[2]
     if e_machine != _EM_AARCH64:
-        raise ElfError(f"unsupported machine {e_machine}")
+        raise _ElfError(f"unsupported machine {e_machine}")
     if e_type != _ET_EXEC:
-        raise ElfError(f"unsupported ELF type {e_type}")
+        raise _ElfError(f"unsupported ELF type {e_type}")
     entry = fields[4]
     phoff = fields[5]
     phentsize, phnum = fields[9], fields[10]
     if phentsize != _PHDR.size:
-        raise ElfError(f"unexpected phentsize {phentsize}")
+        raise _ElfError(f"unexpected phentsize {phentsize}")
 
     segments: List[ElfSegment] = []
     provenance: Dict[int, str] = {}
@@ -185,7 +188,7 @@ def read_elf(data: bytes) -> ElfImage:
         p = _PHDR.unpack_from(data, phoff + i * phentsize)
         p_type, p_flags, p_offset, p_vaddr, _p_paddr, p_filesz, p_memsz, _ = p
         if p_offset + p_filesz > len(data):
-            raise ElfError("segment payload out of range")
+            raise _ElfError("segment payload out of range")
         payload = bytes(data[p_offset:p_offset + p_filesz])
         if p_type == _PT_NOTE and payload[:8] == _PROV_MAGIC:
             provenance = _unpack_provenance(payload)

@@ -122,8 +122,11 @@ class CpuState:
         }
 
     def restore(self, snap: dict) -> None:
-        self.regs = list(snap["regs"])
+        # In-place so that closures capturing the register lists (the
+        # superblock engine's specialized ops) stay valid across context
+        # switches.
+        self.regs[:] = snap["regs"]
         self.sp = snap["sp"]
         self.pc = snap["pc"]
         self.nzcv = snap["nzcv"]
-        self.vregs = list(snap["vregs"])
+        self.vregs[:] = snap["vregs"]

@@ -35,6 +35,7 @@ from ..hooks import HookRegistry
 from ..memory.pages import MemoryFault, PagedMemory
 from . import costs
 from .cpu import CpuState, MASK32, MASK64
+from .superblock import SuperblockEngine
 from .tlb import Tlb
 
 __all__ = [
@@ -181,11 +182,27 @@ class Machine:
     def __init__(self, memory: PagedMemory,
                  model: Optional[costs.CostModel] = None,
                  tlb: Optional[Tlb] = None,
-                 tlb_walk_scale: float = 1.0):
+                 tlb_walk_scale: float = 1.0,
+                 engine: str = "superblock"):
+        if engine not in ("superblock", "stepping"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.memory = memory
         self.cpu = CpuState()
         self.instret = 0
         self.model = model
+        #: Execution engine: "superblock" dispatches translated blocks
+        #: from :meth:`run`; "stepping" forces the per-instruction
+        #: interpreter.  Both produce bit-identical architectural state
+        #: and cycle counts (tests/test_superblock.py).
+        self.engine = engine
+        #: When True, :meth:`run` uses the stepping interpreter even if
+        #: the superblock engine is enabled.  The runtime sets this from
+        #: the scheduled process (fault injection, per-step tooling).
+        self.force_stepping = False
+        #: pc -> guard class for verified guard instructions (loader's
+        #: PT_NOTE guard map).  The superblock translator fuses a guard
+        #: and its consumer into one op when the guard pc is listed here.
+        self.guard_map: Dict[int, str] = {}
         #: Multiplier on TLB walk cost (2.0 models nested paging / KVM).
         self.tlb_walk_scale = tlb_walk_scale
         if model is not None and tlb is None:
@@ -211,7 +228,6 @@ class Machine:
         #: :class:`Trap` here is delivered to the runtime like any hardware
         #: trap.  The tracer subscribes alongside without clobbering.
         self.run_hooks = HookRegistry()
-        self._legacy_run_hook: Optional[Callable] = None
         #: Per-retired-instruction probes ``(machine, pc, klass, cycles)``
         #: where ``cycles`` is this instruction's charge against the cost
         #: model (deltas telescope: their sum equals :attr:`cycles`).
@@ -219,26 +235,10 @@ class Machine:
         #: path and the empty-list check must stay cheap.
         self._step_probes: List[Callable] = []
         self._exec = _build_dispatch(self)
+        self._sb = SuperblockEngine(self)
+        memory.map_observers.append(self._on_map_change)
 
     # -- hooks ---------------------------------------------------------------
-
-    @property
-    def run_hook(self) -> Optional[Callable]:
-        """Deprecated single-slot alias for :attr:`run_hooks`.
-
-        Assignment registers the callable in the registry, replacing
-        whatever the previous assignment registered (the old single-slot
-        contract).  New code should call ``run_hooks.add`` instead.
-        """
-        return self._legacy_run_hook
-
-    @run_hook.setter
-    def run_hook(self, fn: Optional[Callable]) -> None:
-        if self._legacy_run_hook is not None:
-            self.run_hooks.remove(self._legacy_run_hook)
-        self._legacy_run_hook = fn
-        if fn is not None:
-            self.run_hooks.add(fn)
 
     def add_step_probe(self, probe: Callable) -> Callable:
         """Subscribe a per-instruction cycle probe (obs profiler/tracer)."""
@@ -255,6 +255,9 @@ class Machine:
     def register_host_entry(self, address: int, token: object = None) -> None:
         """Branching to ``address`` raises HostCallTrap (runtime-call path)."""
         self._host_entries[address] = token
+        # A cached block translated before this entry existed could run
+        # straight through it; drop any block covering the address.
+        self._sb.invalidate_range(address, 4)
 
     def host_token(self, address: int):
         return self._host_entries.get(address)
@@ -284,8 +287,27 @@ class Machine:
                 probe(self, None, kind, delta)
 
     def invalidate_code(self, address: int, size: int) -> None:
-        for addr in range(address, address + size, 4):
-            self._decode_cache.pop(addr, None)
+        # Sweep-based: invalidating a whole 4GiB slot must stay O(cached
+        # entries), not O(range).
+        cache = self._decode_cache
+        if cache:
+            end = address + size
+            for addr in [a for a in cache if address <= a < end]:
+                del cache[addr]
+        self._sb.invalidate_range(address, size)
+
+    def _on_map_change(self, address: int, size: int) -> None:
+        """Mapping-change observer: drop translations over the range.
+
+        Sweep-based so that unmapping a multi-GiB region stays O(cached
+        entries), not O(range).
+        """
+        self._sb.invalidate_range(address, size)
+        cache = self._decode_cache
+        if cache:
+            end = address + size
+            for addr in [a for a in cache if address <= a < end]:
+                del cache[addr]
 
     # -- execution -------------------------------------------------------------
 
@@ -356,6 +378,13 @@ class Machine:
         """Run until a trap; raises OutOfFuel when the budget is exhausted."""
         if self.run_hooks:
             self.run_hooks(self, fuel)
+        # Per-instruction observability (step probes, forced stepping)
+        # requires the stepping interpreter; the hook check comes first
+        # because a run hook may have just registered a probe.
+        if (self.engine == "superblock" and not self.force_stepping
+                and not self._step_probes):
+            self._sb.run(fuel)
+            return
         step = self.step
         if fuel is None:
             while True:

@@ -1,0 +1,1878 @@
+"""Superblock (translated-block) execution engine for the emulator hot path.
+
+The stepping interpreter in :mod:`repro.emulator.machine` pays Python
+dispatch cost on every instruction: a decode-cache lookup, a handler
+dispatch, generic operand evaluation, and a :meth:`_Costing.charge` call.
+This module predecodes straight-line instruction runs into immutable
+:class:`Superblock` objects whose ops are *specialized closures* (direct
+register-list access, precomputed immediates and branch targets) and
+dispatches whole blocks from :meth:`Machine.run`.
+
+Design rules (DESIGN.md §10):
+
+* a block ends at the first branch, trap instruction (``svc``/``brk``/
+  ``hlt``), registered host entry, undecodable word, or page boundary —
+  blocks never cross a page, so invalidation is page-exact;
+* verified guard sequences named by the loader's ``guard_map`` are fused
+  into a single op that performs both architectural effects and both cost
+  updates in one dispatch;
+* cycle accounting replicates the stepping interpreter's float operation
+  order exactly, so cycle counts, trace timestamps, and metrics snapshots
+  are bit-identical between engines;
+* a block never overruns the remaining fuel: oversized blocks fall back
+  to per-instruction stepping for the tail of the timeslice;
+* the block cache invalidates on any mapping change (``mmap``/``munmap``/
+  ``mprotect``/``share_region``/image load) via the
+  :class:`~repro.memory.pages.PagedMemory` map observer, which also covers
+  fork (the child's slot is freshly shared into).
+
+The engine is *not* used when per-instruction observability is active:
+any registered step probe (profiler, metrics, sampling tracer), a
+process's ``step_mode`` flag, or ``engine="stepping"`` forces the
+original interpreter, whose behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Dict, List, Optional, Tuple
+
+from ..arm64.decoder import decode_word
+from ..arm64.instructions import Instruction, access_bytes
+from ..arm64.operands import Extended, Imm, Mem, POST_INDEX, PRE_INDEX, \
+    Shifted, ShiftedImm, VecReg, canonical_condition
+from ..arm64.registers import LR, Reg
+from ..memory.pages import MemoryFault
+from .cpu import MASK32, MASK64
+
+__all__ = ["Superblock", "SuperblockEngine"]
+
+#: Op kinds — the first element of every op tuple.  The execute loops
+#: branch on these instead of unpacking a generic handler result.
+K_SIMPLE = 0   # exec() -> None; no memory access, never taken
+K_MEM = 1      # exec() -> address int; load/store, never taken
+K_BRANCH = 2   # exec() -> taken bool; terminator
+K_GENERIC = 3  # exec() -> (taken, mem_addr); original handler semantics
+K_FUSED_MEM = 4     # guard add + load/store; exec() -> address
+K_FUSED_BRANCH = 5  # guard add + br/blr/ret; exec() -> None, always taken
+K_FUSED_SIMPLE = 6  # sp guard pair; exec() -> None
+
+_TERMINATOR_BASES = frozenset([
+    "b", "bl", "br", "blr", "ret", "cbz", "cbnz", "tbz", "tbnz",
+    "svc", "brk", "hlt",
+])
+
+_UNSIGNED_LOADS = frozenset(["ldr", "ldrb", "ldrh", "ldur"])
+_SIGNED_LOADS = {"ldrsb": 8, "ldrsh": 16, "ldrsw": 32}
+_SIMPLE_STORES = frozenset(["str", "strb", "strh", "stur"])
+
+#: Generic handlers that read ``cpu.pc`` (link registers, trap pcs).
+#: Inside a block ``cpu.pc`` is stale, so their generic fallbacks are
+#: wrapped to restore it first.  Every one of them is a terminator.
+_PC_READING = frozenset(["bl", "blr", "svc", "brk", "hlt"])
+
+
+def _pc_fix(cpu, pc, call):
+    def run():
+        cpu.pc = pc
+        return call()
+    return run
+
+
+class Superblock:
+    """An immutable predecoded straight-line run of instructions.
+
+    ``ops`` is a list of ``(kind, exec, pc, icost, lat, uses, defs,
+    fused)`` tuples; ``count`` is the run's fuel cost (fused ops count
+    two, a trailing trap instruction counts one for the attempt);
+    ``next_pc`` is the fall-through address; ``end`` is the exclusive
+    byte bound used for invalidation overlap checks.
+    """
+
+    __slots__ = ("start", "end", "ops", "count", "next_pc")
+
+    def __init__(self, start: int, end: int, ops: list, count: int,
+                 next_pc: int):
+        self.start = start
+        self.end = end
+        self.ops = ops
+        self.count = count
+        self.next_pc = next_pc
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (f"Superblock({self.start:#x}..{self.end:#x}, "
+                f"{len(self.ops)} ops, fuel {self.count})")
+
+
+# ---------------------------------------------------------------------------
+# Specialized op thunk factories.
+#
+# Every factory closes over the CPU register list (kept identity-stable by
+# CpuState.restore) and precomputed constants; each replicates the exact
+# architectural effect of the corresponding machine.py handler.
+# ---------------------------------------------------------------------------
+
+def _is_plain_gpr(reg) -> bool:
+    return (isinstance(reg, Reg) and reg.is_gpr and not reg.is_zero
+            and not reg.is_sp)
+
+
+_COND_EVAL = {
+    "eq": lambda cpu: cpu.z == 1,
+    "ne": lambda cpu: cpu.z == 0,
+    "cs": lambda cpu: cpu.c == 1,
+    "cc": lambda cpu: cpu.c == 0,
+    "mi": lambda cpu: cpu.n == 1,
+    "pl": lambda cpu: cpu.n == 0,
+    "vs": lambda cpu: cpu.v == 1,
+    "vc": lambda cpu: cpu.v == 0,
+    "hi": lambda cpu: cpu.c == 1 and cpu.z == 0,
+    "ls": lambda cpu: not (cpu.c == 1 and cpu.z == 0),
+    "ge": lambda cpu: cpu.n == cpu.v,
+    "lt": lambda cpu: cpu.n != cpu.v,
+    "gt": lambda cpu: cpu.z == 0 and cpu.n == cpu.v,
+    "le": lambda cpu: not (cpu.z == 0 and cpu.n == cpu.v),
+    "al": lambda cpu: True,
+    "nv": lambda cpu: True,
+}
+
+
+def _t_add_imm(regs, d, a_i, b, width, sub):
+    if width == 64:
+        if sub:
+            def run():
+                regs[d] = (regs[a_i] - b) & MASK64
+        else:
+            def run():
+                regs[d] = (regs[a_i] + b) & MASK64
+    else:
+        if sub:
+            def run():
+                regs[d] = ((regs[a_i] & MASK32) - b) & MASK32
+        else:
+            def run():
+                regs[d] = ((regs[a_i] & MASK32) + b) & MASK32
+    return run
+
+
+def _t_add_reg(regs, d, a_i, b_i, width, sub):
+    if width == 64:
+        if sub:
+            def run():
+                regs[d] = (regs[a_i] - regs[b_i]) & MASK64
+        else:
+            def run():
+                regs[d] = (regs[a_i] + regs[b_i]) & MASK64
+    else:
+        if sub:
+            def run():
+                regs[d] = ((regs[a_i] & MASK32)
+                           - (regs[b_i] & MASK32)) & MASK32
+        else:
+            def run():
+                regs[d] = ((regs[a_i] & MASK32)
+                           + (regs[b_i] & MASK32)) & MASK32
+    return run
+
+
+def _t_add_uxtw(regs, d, a_i, w_i):
+    """``add Xd, Xn, wM, uxtw`` — the LFI guard form, unfused."""
+    def run():
+        regs[d] = (regs[a_i] + (regs[w_i] & MASK32)) & MASK64
+    return run
+
+
+def _flag_thunk(cpu, regs, d, a_i, width, get_b, carry_in):
+    """Shared flags body for adds/subs/cmp/cmn (b already inverted for
+    subtraction).  Replicates Machine._set_add_flags exactly."""
+    mask = (1 << width) - 1
+    top = 1 << (width - 1)
+    wrap = 1 << width
+    if width == 64:
+        def read_a():
+            return regs[a_i]
+    else:
+        def read_a():
+            return regs[a_i] & MASK32
+
+    def run():
+        a = read_a()
+        b = get_b()
+        raw = a + b + carry_in
+        result = raw & mask
+        cpu.n = 1 if result & top else 0
+        cpu.z = 1 if result == 0 else 0
+        cpu.c = 1 if raw > mask else 0
+        sa = a - wrap if a & top else a
+        sb = b - wrap if b & top else b
+        sres = result - wrap if result & top else result
+        cpu.v = 1 if (sa + sb + carry_in != sres) else 0
+        if d is not None:
+            regs[d] = result
+    return run
+
+
+def _t_addsub_flags_imm(cpu, regs, d, a_i, b, width, sub):
+    mask = (1 << width) - 1
+    if sub:
+        b = (~b) & mask
+        carry = 1
+    else:
+        b = b & mask
+        carry = 0
+    return _flag_thunk(cpu, regs, d, a_i, width, lambda: b, carry)
+
+
+def _t_addsub_flags_reg(cpu, regs, d, a_i, b_i, width, sub):
+    mask = (1 << width) - 1
+    if width == 64:
+        if sub:
+            def get_b():
+                return (~regs[b_i]) & mask
+        else:
+            def get_b():
+                return regs[b_i]
+    else:
+        if sub:
+            def get_b():
+                return (~(regs[b_i] & MASK32)) & mask
+        else:
+            def get_b():
+                return regs[b_i] & MASK32
+    return _flag_thunk(cpu, regs, d, a_i, width, get_b, 1 if sub else 0)
+
+
+def _t_mov_const(regs, d, const):
+    def run():
+        regs[d] = const
+    return run
+
+
+def _t_mov_reg(regs, d, s_i, width):
+    if width == 64:
+        def run():
+            regs[d] = regs[s_i]
+    else:
+        def run():
+            regs[d] = regs[s_i] & MASK32
+    return run
+
+
+def _t_movk(regs, d, keep, bits, width):
+    if width == 64:
+        def run():
+            regs[d] = (regs[d] & keep) | bits
+    else:
+        def run():
+            regs[d] = ((regs[d] & MASK32) & keep) | bits
+    return run
+
+
+def _t_logic_imm(regs, d, a_i, b, width, op):
+    if width == 64:
+        if op == "and":
+            def run():
+                regs[d] = regs[a_i] & b
+        elif op == "orr":
+            def run():
+                regs[d] = regs[a_i] | b
+        else:
+            def run():
+                regs[d] = regs[a_i] ^ b
+    else:
+        if op == "and":
+            def run():
+                regs[d] = (regs[a_i] & MASK32) & b
+        elif op == "orr":
+            def run():
+                regs[d] = (regs[a_i] & MASK32) | b
+        else:
+            def run():
+                regs[d] = (regs[a_i] & MASK32) ^ b
+    return run
+
+
+def _t_logic_reg(regs, d, a_i, b_i, width, op):
+    if width == 64:
+        if op == "and":
+            def run():
+                regs[d] = regs[a_i] & regs[b_i]
+        elif op == "orr":
+            def run():
+                regs[d] = regs[a_i] | regs[b_i]
+        else:
+            def run():
+                regs[d] = regs[a_i] ^ regs[b_i]
+    else:
+        if op == "and":
+            def run():
+                regs[d] = (regs[a_i] & regs[b_i]) & MASK32
+        elif op == "orr":
+            def run():
+                regs[d] = (regs[a_i] | regs[b_i]) & MASK32
+        else:
+            def run():
+                regs[d] = (regs[a_i] ^ regs[b_i]) & MASK32
+    return run
+
+
+def _t_shift_imm(regs, d, a_i, amount, width, op):
+    mask = (1 << width) - 1
+    if op == "lsl":
+        if width == 64:
+            def run():
+                regs[d] = (regs[a_i] << amount) & MASK64
+        else:
+            def run():
+                regs[d] = ((regs[a_i] & MASK32) << amount) & MASK32
+    elif op == "lsr":
+        if width == 64:
+            def run():
+                regs[d] = regs[a_i] >> amount
+        else:
+            def run():
+                regs[d] = (regs[a_i] & MASK32) >> amount
+    else:  # asr
+        top = 1 << (width - 1)
+        wrap = 1 << width
+
+        def run():
+            a = regs[a_i] if width == 64 else regs[a_i] & MASK32
+            if a & top:
+                a -= wrap
+            regs[d] = (a >> amount) & mask
+    return run
+
+
+def _t_addsub_shifted(regs, d, a_i, b_i, amount, width, sub):
+    """``add/sub Xd, Xn, Xm, lsl #k`` (array indexing in the FP kernels)."""
+    if width == 64:
+        if sub:
+            def run():
+                regs[d] = (regs[a_i]
+                           - ((regs[b_i] << amount) & MASK64)) & MASK64
+        else:
+            def run():
+                regs[d] = (regs[a_i]
+                           + ((regs[b_i] << amount) & MASK64)) & MASK64
+    else:
+        if sub:
+            def run():
+                regs[d] = ((regs[a_i] & MASK32)
+                           - (((regs[b_i] & MASK32) << amount)
+                              & MASK32)) & MASK32
+        else:
+            def run():
+                regs[d] = ((regs[a_i] & MASK32)
+                           + (((regs[b_i] & MASK32) << amount)
+                              & MASK32)) & MASK32
+    return run
+
+
+def _t_madd(regs, d, n_i, m_i, a_i, width, msub):
+    mask = (1 << width) - 1
+    if width == 64:
+        if msub:
+            def run():
+                regs[d] = (regs[a_i] - regs[n_i] * regs[m_i]) & mask
+        else:
+            def run():
+                regs[d] = (regs[a_i] + regs[n_i] * regs[m_i]) & mask
+    else:
+        if msub:
+            def run():
+                regs[d] = ((regs[a_i] & MASK32)
+                           - (regs[n_i] & MASK32)
+                           * (regs[m_i] & MASK32)) & mask
+        else:
+            def run():
+                regs[d] = ((regs[a_i] & MASK32)
+                           + (regs[n_i] & MASK32)
+                           * (regs[m_i] & MASK32)) & mask
+    return run
+
+
+def _t_bitfield(regs, d, n_i, width, immr, imms, signed):
+    """ubfm/sbfm with precomputed field geometry (lsr/lsl/ubfx aliases)."""
+    mask = (1 << width) - 1
+    if imms >= immr:
+        length = imms - immr + 1
+        rshift = immr
+        shift = 0
+    else:
+        length = imms + 1
+        rshift = 0
+        shift = width - immr
+    fmask = (1 << length) - 1
+    sign_bit = 1 << (length - 1)
+    sign_fill = mask & ~((1 << min(shift + length, width)) - 1)
+    src64 = width == 64
+
+    def run():
+        src = regs[n_i] if src64 else regs[n_i] & MASK32
+        field = (src >> rshift) & fmask
+        result = (field << shift) & mask
+        if signed and field & sign_bit:
+            result |= sign_fill
+        regs[d] = result
+    return run
+
+
+# -- scalar floating point factories ------------------------------------------
+
+def _t_fp2(vregs, d, n_i, m_i, bits, op, b2f, f2b):
+    """Scalar fadd/fsub/fmul with equal-width d/s operands."""
+    vmask = (1 << bits) - 1
+    if op == "fadd":
+        def run():
+            vregs[d] = f2b(b2f(vregs[n_i] & vmask, bits)
+                           + b2f(vregs[m_i] & vmask, bits), bits)
+    elif op == "fsub":
+        def run():
+            vregs[d] = f2b(b2f(vregs[n_i] & vmask, bits)
+                           - b2f(vregs[m_i] & vmask, bits), bits)
+    else:  # fmul
+        def run():
+            vregs[d] = f2b(b2f(vregs[n_i] & vmask, bits)
+                           * b2f(vregs[m_i] & vmask, bits), bits)
+    return run
+
+
+def _t_fp3(vregs, d, n_i, m_i, a_i, bits, msub, b2f, f2b):
+    """Scalar fmadd/fmsub (the FP kernels' hottest data op)."""
+    vmask = (1 << bits) - 1
+    if msub:
+        def run():
+            prod = b2f(vregs[n_i] & vmask, bits) \
+                * b2f(vregs[m_i] & vmask, bits)
+            vregs[d] = f2b(b2f(vregs[a_i] & vmask, bits) - prod, bits)
+    else:
+        def run():
+            prod = b2f(vregs[n_i] & vmask, bits) \
+                * b2f(vregs[m_i] & vmask, bits)
+            vregs[d] = f2b(b2f(vregs[a_i] & vmask, bits) + prod, bits)
+    return run
+
+
+# -- vector integer factories -------------------------------------------------
+
+def _t_vec3_bitwise(vregs, d, n_i, m_i, full_mask, op):
+    """Lane-independent vector and/orr/eor collapse to one bitop."""
+    if op == "and":
+        def run():
+            vregs[d] = (vregs[n_i] & vregs[m_i]) & full_mask
+    elif op == "orr":
+        def run():
+            vregs[d] = (vregs[n_i] | vregs[m_i]) & full_mask
+    else:  # eor
+        def run():
+            vregs[d] = (vregs[n_i] ^ vregs[m_i]) & full_mask
+    return run
+
+
+def _t_vec3_lanes(vregs, d, n_i, m_i, lanes, bits, op):
+    """Lane-wise vector add/sub/mul over a same-arrangement triple."""
+    mask = (1 << bits) - 1
+    shifts = tuple(range(0, lanes * bits, bits))
+    if op == "add":
+        def run():
+            a = vregs[n_i]
+            b = vregs[m_i]
+            raw = 0
+            for sh in shifts:
+                raw |= ((((a >> sh) & mask) + ((b >> sh) & mask))
+                        & mask) << sh
+            vregs[d] = raw
+    elif op == "sub":
+        def run():
+            a = vregs[n_i]
+            b = vregs[m_i]
+            raw = 0
+            for sh in shifts:
+                raw |= ((((a >> sh) & mask) - ((b >> sh) & mask))
+                        & mask) << sh
+            vregs[d] = raw
+    else:  # mul
+        def run():
+            a = vregs[n_i]
+            b = vregs[m_i]
+            raw = 0
+            for sh in shifts:
+                raw |= ((((a >> sh) & mask) * ((b >> sh) & mask))
+                        & mask) << sh
+            vregs[d] = raw
+    return run
+
+
+# -- memory op factories ------------------------------------------------------
+
+def _t_load(regs, cpu, read, t, base_i, imm, size, signed_bits, tbits,
+            sp_base):
+    """Loads with a register+immediate address into a GPR target."""
+    if signed_bits is None:
+        if sp_base:
+            def run():
+                addr = (cpu.sp + imm) & MASK64
+                regs[t] = int.from_bytes(read(addr, size), "little")
+                return addr
+        else:
+            def run():
+                addr = (regs[base_i] + imm) & MASK64
+                regs[t] = int.from_bytes(read(addr, size), "little")
+                return addr
+    else:
+        sign = 1 << (signed_bits - 1)
+        wrap = 1 << signed_bits
+        tmask = MASK64 if tbits == 64 else MASK32
+        if sp_base:
+            def run():
+                addr = (cpu.sp + imm) & MASK64
+                raw = int.from_bytes(read(addr, size), "little")
+                if raw & sign:
+                    raw -= wrap
+                regs[t] = raw & tmask
+                return addr
+        else:
+            def run():
+                addr = (regs[base_i] + imm) & MASK64
+                raw = int.from_bytes(read(addr, size), "little")
+                if raw & sign:
+                    raw -= wrap
+                regs[t] = raw & tmask
+                return addr
+    return run
+
+
+def _t_load_uxtw(regs, read, t, base_i, w_i, size, signed_bits, tbits):
+    """``ldr Xt, [x21, wM, uxtw]`` — the zero-instruction guard mode."""
+    if signed_bits is None:
+        def run():
+            addr = (regs[base_i] + (regs[w_i] & MASK32)) & MASK64
+            regs[t] = int.from_bytes(read(addr, size), "little")
+            return addr
+    else:
+        sign = 1 << (signed_bits - 1)
+        wrap = 1 << signed_bits
+        tmask = MASK64 if tbits == 64 else MASK32
+
+        def run():
+            addr = (regs[base_i] + (regs[w_i] & MASK32)) & MASK64
+            raw = int.from_bytes(read(addr, size), "little")
+            if raw & sign:
+                raw -= wrap
+            regs[t] = raw & tmask
+            return addr
+    return run
+
+
+def _t_store(regs, cpu, write, t, base_i, imm, size, sp_base, zero_src):
+    smask = (1 << (size * 8)) - 1
+    if sp_base:
+        if zero_src:
+            data = (0).to_bytes(size, "little")
+
+            def run():
+                addr = (cpu.sp + imm) & MASK64
+                write(addr, data)
+                return addr
+        else:
+            def run():
+                addr = (cpu.sp + imm) & MASK64
+                write(addr, (regs[t] & smask).to_bytes(size, "little"))
+                return addr
+    else:
+        if zero_src:
+            data = (0).to_bytes(size, "little")
+
+            def run():
+                addr = (regs[base_i] + imm) & MASK64
+                write(addr, data)
+                return addr
+        else:
+            def run():
+                addr = (regs[base_i] + imm) & MASK64
+                write(addr, (regs[t] & smask).to_bytes(size, "little"))
+                return addr
+    return run
+
+
+def _t_store_uxtw(regs, write, t, base_i, w_i, size, zero_src):
+    smask = (1 << (size * 8)) - 1
+    if zero_src:
+        data = (0).to_bytes(size, "little")
+
+        def run():
+            addr = (regs[base_i] + (regs[w_i] & MASK32)) & MASK64
+            write(addr, data)
+            return addr
+    else:
+        def run():
+            addr = (regs[base_i] + (regs[w_i] & MASK32)) & MASK64
+            write(addr, (regs[t] & smask).to_bytes(size, "little"))
+            return addr
+    return run
+
+
+def _t_vload(vregs, regs, cpu, read, t, base_i, imm, size, vmask, sp_base):
+    """FP/SIMD register load (``ldr d0, [x1, #8]`` and friends)."""
+    if sp_base:
+        def run():
+            addr = (cpu.sp + imm) & MASK64
+            vregs[t] = int.from_bytes(read(addr, size), "little") & vmask
+            return addr
+    else:
+        def run():
+            addr = (regs[base_i] + imm) & MASK64
+            vregs[t] = int.from_bytes(read(addr, size), "little") & vmask
+            return addr
+    return run
+
+
+def _t_vload_uxtw(vregs, regs, read, t, base_i, w_i, size, vmask):
+    def run():
+        addr = (regs[base_i] + (regs[w_i] & MASK32)) & MASK64
+        vregs[t] = int.from_bytes(read(addr, size), "little") & vmask
+        return addr
+    return run
+
+
+def _t_vstore(vregs, regs, cpu, write, t, base_i, imm, size, vmask, sp_base):
+    if sp_base:
+        def run():
+            addr = (cpu.sp + imm) & MASK64
+            write(addr, (vregs[t] & vmask).to_bytes(size, "little"))
+            return addr
+    else:
+        def run():
+            addr = (regs[base_i] + imm) & MASK64
+            write(addr, (vregs[t] & vmask).to_bytes(size, "little"))
+            return addr
+    return run
+
+
+def _t_vstore_uxtw(vregs, regs, write, t, base_i, w_i, size, vmask):
+    def run():
+        addr = (regs[base_i] + (regs[w_i] & MASK32)) & MASK64
+        write(addr, (vregs[t] & vmask).to_bytes(size, "little"))
+        return addr
+    return run
+
+
+def _t_ldp(regs, cpu, read, t1, t2, base_i, imm, sp_base):
+    if sp_base:
+        def run():
+            addr = (cpu.sp + imm) & MASK64
+            regs[t1] = int.from_bytes(read(addr, 8), "little")
+            regs[t2] = int.from_bytes(read(addr + 8, 8), "little")
+            return addr
+    else:
+        def run():
+            addr = (regs[base_i] + imm) & MASK64
+            regs[t1] = int.from_bytes(read(addr, 8), "little")
+            regs[t2] = int.from_bytes(read(addr + 8, 8), "little")
+            return addr
+    return run
+
+
+def _t_stp(regs, cpu, write, t1, t2, base_i, imm, sp_base):
+    if sp_base:
+        def run():
+            addr = (cpu.sp + imm) & MASK64
+            write(addr, (regs[t1] & MASK64).to_bytes(8, "little"))
+            write(addr + 8, (regs[t2] & MASK64).to_bytes(8, "little"))
+            return addr
+    else:
+        def run():
+            addr = (regs[base_i] + imm) & MASK64
+            write(addr, (regs[t1] & MASK64).to_bytes(8, "little"))
+            write(addr + 8, (regs[t2] & MASK64).to_bytes(8, "little"))
+            return addr
+    return run
+
+
+# -- branch factories ---------------------------------------------------------
+
+def _t_b(cpu, target):
+    def run():
+        cpu.pc = target
+        return True
+    return run
+
+
+def _t_bl(cpu, regs, target, link):
+    def run():
+        regs[30] = link
+        cpu.pc = target
+        return True
+    return run
+
+
+def _t_bcond(cpu, cond, target):
+    holds = _COND_EVAL[cond]
+
+    def run():
+        if holds(cpu):
+            cpu.pc = target
+            return True
+        return False
+    return run
+
+
+def _t_cb(cpu, regs, t_i, width, want_zero, target):
+    if width == 64:
+        def read_t():
+            return regs[t_i]
+    else:
+        def read_t():
+            return regs[t_i] & MASK32
+    if want_zero:
+        def run():
+            if read_t() == 0:
+                cpu.pc = target
+                return True
+            return False
+    else:
+        def run():
+            if read_t() != 0:
+                cpu.pc = target
+                return True
+            return False
+    return run
+
+
+def _t_tb(cpu, regs, t_i, bit, want_set, target):
+    if want_set:
+        def run():
+            if (regs[t_i] >> bit) & 1:
+                cpu.pc = target
+                return True
+            return False
+    else:
+        def run():
+            if not ((regs[t_i] >> bit) & 1):
+                cpu.pc = target
+                return True
+            return False
+    return run
+
+
+def _t_br(cpu, regs, t_i):
+    def run():
+        cpu.pc = regs[t_i] & MASK64
+        return True
+    return run
+
+
+def _t_blr(cpu, regs, t_i, link):
+    def run():
+        target = regs[t_i] & MASK64
+        regs[30] = link
+        cpu.pc = target
+        return True
+    return run
+
+
+def _t_trap(cpu, pc, exc_factory):
+    def run():
+        cpu.pc = pc
+        raise exc_factory()
+    return run
+
+
+# -- fused guard factories ----------------------------------------------------
+
+def _t_fused_guard_load(regs, read, g_d, g_s, t, imm, size, signed_bits,
+                        tbits, base_i):
+    """``add Xg, x21, wS, uxtw`` + ``ldr Xt, [Xg(, #imm)]``."""
+    if signed_bits is None:
+        def run():
+            g = (regs[base_i] + (regs[g_s] & MASK32)) & MASK64
+            regs[g_d] = g
+            addr = (g + imm) & MASK64
+            regs[t] = int.from_bytes(read(addr, size), "little")
+            return addr
+    else:
+        sign = 1 << (signed_bits - 1)
+        wrap = 1 << signed_bits
+        tmask = MASK64 if tbits == 64 else MASK32
+
+        def run():
+            g = (regs[base_i] + (regs[g_s] & MASK32)) & MASK64
+            regs[g_d] = g
+            addr = (g + imm) & MASK64
+            raw = int.from_bytes(read(addr, size), "little")
+            if raw & sign:
+                raw -= wrap
+            regs[t] = raw & tmask
+            return addr
+    return run
+
+
+def _t_fused_guard_store(regs, write, g_d, g_s, t, imm, size, base_i,
+                         zero_src):
+    smask = (1 << (size * 8)) - 1
+    if zero_src:
+        data = (0).to_bytes(size, "little")
+
+        def run():
+            g = (regs[base_i] + (regs[g_s] & MASK32)) & MASK64
+            regs[g_d] = g
+            addr = (g + imm) & MASK64
+            write(addr, data)
+            return addr
+    else:
+        def run():
+            g = (regs[base_i] + (regs[g_s] & MASK32)) & MASK64
+            regs[g_d] = g
+            addr = (g + imm) & MASK64
+            write(addr, (regs[t] & smask).to_bytes(size, "little"))
+            return addr
+    return run
+
+
+def _t_fused_offset_load(regs, read, o_d, o_s, o_imm, o_sub, t, size,
+                         signed_bits, tbits, base_i):
+    """``add wD, wS, #imm`` + ``ldr Xt, [x21, wD, uxtw]`` (Table 3)."""
+    if signed_bits is None:
+        def run():
+            if o_sub:
+                w = ((regs[o_s] & MASK32) - o_imm) & MASK32
+            else:
+                w = ((regs[o_s] & MASK32) + o_imm) & MASK32
+            regs[o_d] = w
+            addr = (regs[base_i] + w) & MASK64
+            regs[t] = int.from_bytes(read(addr, size), "little")
+            return addr
+    else:
+        sign = 1 << (signed_bits - 1)
+        wrap = 1 << signed_bits
+        tmask = MASK64 if tbits == 64 else MASK32
+
+        def run():
+            if o_sub:
+                w = ((regs[o_s] & MASK32) - o_imm) & MASK32
+            else:
+                w = ((regs[o_s] & MASK32) + o_imm) & MASK32
+            regs[o_d] = w
+            addr = (regs[base_i] + w) & MASK64
+            raw = int.from_bytes(read(addr, size), "little")
+            if raw & sign:
+                raw -= wrap
+            regs[t] = raw & tmask
+            return addr
+    return run
+
+
+def _t_fused_offset_store(regs, write, o_d, o_s, o_imm, o_sub, t, size,
+                          base_i, zero_src):
+    smask = (1 << (size * 8)) - 1
+    if zero_src:
+        data = (0).to_bytes(size, "little")
+
+        def run():
+            if o_sub:
+                w = ((regs[o_s] & MASK32) - o_imm) & MASK32
+            else:
+                w = ((regs[o_s] & MASK32) + o_imm) & MASK32
+            regs[o_d] = w
+            addr = (regs[base_i] + w) & MASK64
+            write(addr, data)
+            return addr
+    else:
+        def run():
+            if o_sub:
+                w = ((regs[o_s] & MASK32) - o_imm) & MASK32
+            else:
+                w = ((regs[o_s] & MASK32) + o_imm) & MASK32
+            regs[o_d] = w
+            addr = (regs[base_i] + w) & MASK64
+            write(addr, (regs[t] & smask).to_bytes(size, "little"))
+            return addr
+    return run
+
+
+def _t_fused_guard_branch(cpu, regs, g_d, g_s, base_i, link):
+    """``add Xg, x21, wS, uxtw`` + ``br/blr/ret Xg`` (branch guard)."""
+    if link is None:
+        def run():
+            g = (regs[base_i] + (regs[g_s] & MASK32)) & MASK64
+            regs[g_d] = g
+            cpu.pc = g
+    else:
+        def run():
+            g = (regs[base_i] + (regs[g_s] & MASK32)) & MASK64
+            regs[g_d] = g
+            regs[30] = link
+            cpu.pc = g
+    return run
+
+
+def _t_fused_sp_guard(cpu, regs, w_d, base_i):
+    """``mov w22, wsp`` + ``add sp, x21, x22`` (sp guard pair)."""
+    def run():
+        w = cpu.sp & MASK32
+        regs[w_d] = w
+        cpu.sp = (regs[base_i] + w) & MASK64
+    return run
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+class SuperblockEngine:
+    """Block cache + translator + block-dispatch loops for one Machine."""
+
+    def __init__(self, machine):
+        # Imported lazily: machine.py imports this module at its top.
+        from . import machine as M
+        self._M = M
+        self.machine = machine
+        self._blocks: Dict[int, Superblock] = {}
+        #: Counters exposed for tests and diagnostics.
+        self.translations = 0
+        self.invalidations = 0
+
+    # -- cache management ---------------------------------------------------
+
+    def invalidate_range(self, address: int, size: int) -> None:
+        """Drop every block overlapping ``[address, address + size)``."""
+        blocks = self._blocks
+        if not blocks:
+            return
+        end = address + size
+        dead = [start for start, block in blocks.items()
+                if start < end and block.end > address]
+        for start in dead:
+            del blocks[start]
+        if dead:
+            self.invalidations += len(dead)
+
+    def invalidate_all(self) -> None:
+        self.invalidations += len(self._blocks)
+        self._blocks.clear()
+
+    @property
+    def cached_blocks(self) -> int:
+        return len(self._blocks)
+
+    def block_at(self, pc: int) -> Optional[Superblock]:
+        return self._blocks.get(pc)
+
+    # -- driving ------------------------------------------------------------
+
+    def run(self, fuel: Optional[int]) -> None:
+        """Run blocks until a trap; raises OutOfFuel when fuel runs out.
+
+        Semantics match ``Machine.run``'s stepping loop exactly: with
+        fuel ``n``, exactly ``n`` instructions retire (the ``n+1``-th may
+        raise its trap first) and then ``OutOfFuel`` is raised.
+        """
+        machine = self.machine
+        remaining = fuel if fuel is not None else (1 << 62)
+        if remaining <= 0:
+            raise self._M.OutOfFuel()
+        if machine._costing is not None:
+            remaining = self._run_costed(remaining)
+        else:
+            remaining = self._run_fast(remaining)
+        # A block larger than the remaining fuel: fall back to stepping
+        # for the tail of the slice, then report preemption.
+        step = machine.step
+        for _ in range(remaining):
+            step()
+        raise self._M.OutOfFuel()
+
+    def _run_costed(self, remaining: int) -> int:
+        M = self._M
+        machine = self.machine
+        cpu = machine.cpu
+        host = machine._host_entries
+        blocks = self._blocks
+        translate = self._translate
+        costing = machine._costing
+        model = machine.model
+        tlb = machine.tlb
+        l1 = machine.l1
+        l2 = machine.l2
+        tlb_lookup = tlb.lookup if tlb is not None else None
+        l1_lookup = l1.lookup if l1 is not None else None
+        l2_lookup = l2.lookup if l2 is not None else None
+        walk = model.tlb_walk_cycles * machine.tlb_walk_scale
+        walk_bw = walk * model.tlb_walk_issue_fraction
+        l1_cyc = model.l1_miss_cycles
+        l1_bw = model.l1_miss_issue
+        l2_cyc = model.l2_miss_cycles
+        l2_bw = model.l2_miss_issue
+        tb = model.taken_branch_cost
+        ready = costing.ready
+        ready_get = ready.get
+        t_issue = costing.t_issue
+        t_done = costing.t_done
+        n = 0
+        kind = pc = fused = None
+        try:
+            while True:
+                pc0 = cpu.pc
+                if pc0 in host:
+                    raise M.HostCallTrap(pc0, pc0)
+                block = blocks.get(pc0)
+                if block is None:
+                    block = translate(pc0)
+                count = block.count
+                if count > remaining:
+                    return remaining
+                taken = False
+                try:
+                    for kind, exec_, pc, icost, lat, uses, defs, fused \
+                            in block.ops:
+                        if kind == 0:  # simple: no memory, never taken
+                            exec_()
+                            t_issue += icost
+                            start = t_issue
+                            for key in uses:
+                                t = ready_get(key)
+                                if t is not None and t > start:
+                                    start = t
+                            finish = start + lat
+                            for key in defs:
+                                ready[key] = finish
+                            if finish > t_done:
+                                t_done = finish
+                            n += 1
+                        elif kind == 1:  # load/store
+                            addr = exec_()
+                            extra = 0.0
+                            bw = 0.0
+                            if tlb_lookup is not None \
+                                    and not tlb_lookup(addr):
+                                extra += walk
+                                bw += walk_bw
+                            if l1_lookup is not None and not l1_lookup(addr):
+                                extra += l1_cyc
+                                bw += l1_bw
+                                if not l2_lookup(addr):
+                                    extra += l2_cyc
+                                    bw += l2_bw
+                            t_issue += icost + bw
+                            start = t_issue
+                            for key in uses:
+                                t = ready_get(key)
+                                if t is not None and t > start:
+                                    start = t
+                            finish = start + lat + extra
+                            for key in defs:
+                                ready[key] = finish
+                            if finish > t_done:
+                                t_done = finish
+                            n += 1
+                        elif kind == 2:  # branch terminator
+                            taken = exec_()
+                            if taken:
+                                t_issue += icost + tb
+                            else:
+                                t_issue += icost
+                            start = t_issue
+                            for key in uses:
+                                t = ready_get(key)
+                                if t is not None and t > start:
+                                    start = t
+                            finish = start + lat
+                            for key in defs:
+                                ready[key] = finish
+                            if finish > t_done:
+                                t_done = finish
+                            n += 1
+                        elif kind == 4:  # fused guard + load/store
+                            addr = exec_()
+                            g_icost, g_lat, g_uses, g_defs, _a_pc = fused
+                            t_issue += g_icost
+                            start = t_issue
+                            for key in g_uses:
+                                t = ready_get(key)
+                                if t is not None and t > start:
+                                    start = t
+                            finish = start + g_lat
+                            for key in g_defs:
+                                ready[key] = finish
+                            if finish > t_done:
+                                t_done = finish
+                            extra = 0.0
+                            bw = 0.0
+                            if tlb_lookup is not None \
+                                    and not tlb_lookup(addr):
+                                extra += walk
+                                bw += walk_bw
+                            if l1_lookup is not None and not l1_lookup(addr):
+                                extra += l1_cyc
+                                bw += l1_bw
+                                if not l2_lookup(addr):
+                                    extra += l2_cyc
+                                    bw += l2_bw
+                            t_issue += icost + bw
+                            start = t_issue
+                            for key in uses:
+                                t = ready_get(key)
+                                if t is not None and t > start:
+                                    start = t
+                            finish = start + lat + extra
+                            for key in defs:
+                                ready[key] = finish
+                            if finish > t_done:
+                                t_done = finish
+                            n += 2
+                        elif kind == 5:  # fused guard + indirect branch
+                            exec_()
+                            g_icost, g_lat, g_uses, g_defs, _a_pc = fused
+                            t_issue += g_icost
+                            start = t_issue
+                            for key in g_uses:
+                                t = ready_get(key)
+                                if t is not None and t > start:
+                                    start = t
+                            finish = start + g_lat
+                            for key in g_defs:
+                                ready[key] = finish
+                            if finish > t_done:
+                                t_done = finish
+                            t_issue += icost + tb
+                            start = t_issue
+                            for key in uses:
+                                t = ready_get(key)
+                                if t is not None and t > start:
+                                    start = t
+                            finish = start + lat
+                            for key in defs:
+                                ready[key] = finish
+                            if finish > t_done:
+                                t_done = finish
+                            n += 2
+                            taken = True
+                        elif kind == 6:  # fused sp guard pair
+                            exec_()
+                            g_icost, g_lat, g_uses, g_defs, _a_pc = fused
+                            t_issue += g_icost
+                            start = t_issue
+                            for key in g_uses:
+                                t = ready_get(key)
+                                if t is not None and t > start:
+                                    start = t
+                            finish = start + g_lat
+                            for key in g_defs:
+                                ready[key] = finish
+                            if finish > t_done:
+                                t_done = finish
+                            t_issue += icost
+                            start = t_issue
+                            for key in uses:
+                                t = ready_get(key)
+                                if t is not None and t > start:
+                                    start = t
+                            finish = start + lat
+                            for key in defs:
+                                ready[key] = finish
+                            if finish > t_done:
+                                t_done = finish
+                            n += 2
+                        else:  # generic handler semantics
+                            taken, addr = exec_()
+                            extra = 0.0
+                            bw = 0.0
+                            if addr is not None:
+                                if tlb_lookup is not None \
+                                        and not tlb_lookup(addr):
+                                    extra += walk
+                                    bw += walk_bw
+                                if l1_lookup is not None \
+                                        and not l1_lookup(addr):
+                                    extra += l1_cyc
+                                    bw += l1_bw
+                                    if not l2_lookup(addr):
+                                        extra += l2_cyc
+                                        bw += l2_bw
+                            if taken:
+                                t_issue += icost + tb + bw
+                            else:
+                                t_issue += icost + bw
+                            start = t_issue
+                            for key in uses:
+                                t = ready_get(key)
+                                if t is not None and t > start:
+                                    start = t
+                            finish = start + lat + extra
+                            for key in defs:
+                                ready[key] = finish
+                            if finish > t_done:
+                                t_done = finish
+                            n += 1
+                except MemoryFault as fault:
+                    if kind == 4:
+                        # The guard half retired before the access faulted.
+                        g_icost, g_lat, g_uses, g_defs, a_pc = fused
+                        t_issue += g_icost
+                        start = t_issue
+                        for key in g_uses:
+                            t = ready_get(key)
+                            if t is not None and t > start:
+                                start = t
+                        finish = start + g_lat
+                        for key in g_defs:
+                            ready[key] = finish
+                        if finish > t_done:
+                            t_done = finish
+                        n += 1
+                        cpu.pc = a_pc
+                        raise M.MemTrap(a_pc, fault) from None
+                    cpu.pc = pc
+                    raise M.MemTrap(pc, fault) from None
+                if not taken:
+                    cpu.pc = block.next_pc
+                remaining -= count
+                if remaining == 0:
+                    raise M.OutOfFuel()
+        finally:
+            costing.t_issue = t_issue
+            costing.t_done = t_done
+            machine.instret += n
+
+    def _run_fast(self, remaining: int) -> int:
+        """Block dispatch without a cost model (fuzz oracles)."""
+        M = self._M
+        machine = self.machine
+        cpu = machine.cpu
+        host = machine._host_entries
+        blocks = self._blocks
+        translate = self._translate
+        n = 0
+        kind = pc = fused = None
+        try:
+            while True:
+                pc0 = cpu.pc
+                if pc0 in host:
+                    raise M.HostCallTrap(pc0, pc0)
+                block = blocks.get(pc0)
+                if block is None:
+                    block = translate(pc0)
+                count = block.count
+                if count > remaining:
+                    return remaining
+                taken = False
+                try:
+                    for kind, exec_, pc, icost, lat, uses, defs, fused \
+                            in block.ops:
+                        if kind == 0 or kind == 1:
+                            exec_()
+                            n += 1
+                        elif kind == 2:
+                            taken = exec_()
+                            n += 1
+                        elif kind == 4 or kind == 6:
+                            exec_()
+                            n += 2
+                        elif kind == 5:
+                            exec_()
+                            n += 2
+                            taken = True
+                        else:
+                            taken, _addr = exec_()
+                            n += 1
+                except MemoryFault as fault:
+                    if kind == 4:
+                        a_pc = fused[4]
+                        n += 1
+                        cpu.pc = a_pc
+                        raise M.MemTrap(a_pc, fault) from None
+                    cpu.pc = pc
+                    raise M.MemTrap(pc, fault) from None
+                if not taken:
+                    cpu.pc = block.next_pc
+                remaining -= count
+                if remaining == 0:
+                    raise M.OutOfFuel()
+        finally:
+            machine.instret += n
+
+    # -- translation --------------------------------------------------------
+
+    def _translate(self, start: int) -> Superblock:
+        """Predecode the straight-line run starting at ``start``.
+
+        Raises the same trap ``Machine.step`` would raise if the *first*
+        instruction is unfetchable or undecodable; later problems simply
+        end the block (the next dispatch raises them with the exact pc).
+        """
+        M = self._M
+        machine = self.machine
+        memory = machine.memory
+        dispatch = machine._exec
+        host = machine._host_entries
+        page_size = memory.page_size
+        limit = (start // page_size + 1) * page_size
+
+        decoded: List[Tuple[int, Instruction, object]] = []
+        pc = start
+        while pc < limit:
+            if pc in host and pc != start:
+                break
+            try:
+                word = memory.fetch(pc)
+            except MemoryFault as fault:
+                if not decoded:
+                    raise M.MemTrap(pc, fault) from None
+                break
+            inst = decode_word(word, pc)
+            handler = dispatch.get(inst.base) if inst is not None else None
+            if handler is None:
+                if not decoded:
+                    raise M.UnknownInstructionTrap(pc, word)
+                break
+            decoded.append((pc, inst, handler))
+            if inst.base in _TERMINATOR_BASES:
+                break
+            pc += 4
+
+        guard_map = machine.guard_map
+        ops = []
+        count = 0
+        i = 0
+        while i < len(decoded):
+            pc_i, inst, handler = decoded[i]
+            if guard_map and pc_i in guard_map and i + 1 < len(decoded):
+                fused = self._try_fuse(pc_i, inst, decoded[i + 1][1])
+                if fused is not None:
+                    ops.append(fused)
+                    count += 2
+                    i += 2
+                    continue
+            ops.append(self._build_op(pc_i, inst, handler))
+            count += 1
+            i += 1
+
+        last_pc = decoded[-1][0]
+        block = Superblock(start, last_pc + 4, ops, count, last_pc + 4)
+        self._blocks[start] = block
+        self.translations += 1
+        return block
+
+    # -- op construction ----------------------------------------------------
+
+    def _cost_entry(self, inst: Instruction):
+        """(icost, lat, uses, defs) exactly as Machine.step caches them."""
+        M = self._M
+        machine = self.machine
+        klass = M._classify(inst)
+        model = machine.model
+        if model is not None:
+            icost = model.issue_cost(klass)
+            lat = model.result_latency(klass)
+        else:
+            icost = lat = 0.0
+        uses = tuple(k for k in (M._reg_key(r) for r in inst.uses())
+                     if k is not None)
+        defs = tuple(k for k in (M._reg_key(r) for r in inst.defs())
+                     if k is not None)
+        return icost, lat, uses, defs
+
+    def _build_op(self, pc: int, inst: Instruction, handler) -> tuple:
+        icost, lat, uses, defs = self._cost_entry(inst)
+        spec = self._specialize(pc, inst)
+        if spec is None:
+            exec_ = partial(handler, inst)
+            if inst.base in _PC_READING:
+                exec_ = _pc_fix(self.machine.cpu, pc, exec_)
+            return (K_GENERIC, exec_, pc, icost, lat, uses, defs, None)
+        kind, exec_ = spec
+        return (kind, exec_, pc, icost, lat, uses, defs, None)
+
+    def _specialize(self, pc: int, inst: Instruction):
+        """Build a specialized thunk, or None for the generic fallback."""
+        M = self._M
+        machine = self.machine
+        cpu = machine.cpu
+        regs = cpu.regs
+        mem = machine.memory
+        base = inst.base
+        m = inst.mnemonic
+        ops = inst.operands
+
+        # -- traps (block terminators; pc set before the raise) -----------
+        if base == "svc":
+            imm = ops[0].value if ops else 0
+            return (K_GENERIC,
+                    _t_trap(cpu, pc, lambda: M.SvcTrap(pc, imm)))
+        if base == "brk":
+            imm = ops[0].value if ops else 0
+            return (K_GENERIC,
+                    _t_trap(cpu, pc, lambda: M.BrkTrap(pc, imm)))
+        if base == "hlt":
+            return (K_GENERIC, _t_trap(cpu, pc, lambda: M.HltTrap(pc)))
+
+        # -- branches ------------------------------------------------------
+        if base == "b":
+            target = ops[0].value & MASK64 if isinstance(ops[0], Imm) \
+                else None
+            if target is None:
+                return None
+            if m == "b":
+                return (K_BRANCH, _t_b(cpu, target))
+            cond = self._canonical(m[2:])
+            if cond is None:
+                return None
+            return (K_BRANCH, _t_bcond(cpu, cond, target))
+        if base == "bl":
+            if not isinstance(ops[0], Imm):
+                return None
+            return (K_BRANCH,
+                    _t_bl(cpu, regs, ops[0].value & MASK64, pc + 4))
+        if base == "br":
+            if not _is_plain_gpr(ops[0]):
+                return None
+            return (K_BRANCH, _t_br(cpu, regs, ops[0].index))
+        if base == "blr":
+            if not _is_plain_gpr(ops[0]):
+                return None
+            return (K_BRANCH, _t_blr(cpu, regs, ops[0].index, pc + 4))
+        if base == "ret":
+            reg = ops[0] if ops else LR
+            if not _is_plain_gpr(reg):
+                return None
+            return (K_BRANCH, _t_br(cpu, regs, reg.index))
+        if base in ("cbz", "cbnz"):
+            rt, target = ops
+            if not _is_plain_gpr(rt) or not isinstance(target, Imm):
+                return None
+            return (K_BRANCH, _t_cb(cpu, regs, rt.index, rt.bits,
+                                    base == "cbz", target.value & MASK64))
+        if base in ("tbz", "tbnz"):
+            rt, bit, target = ops
+            if not _is_plain_gpr(rt) or not isinstance(target, Imm):
+                return None
+            return (K_BRANCH, _t_tb(cpu, regs, rt.index, bit.value,
+                                    base == "tbnz", target.value & MASK64))
+
+        # -- vector / floating point ---------------------------------------
+        if ops and isinstance(ops[0], VecReg):
+            return self._specialize_vector(inst)
+
+        if base in ("fadd", "fsub", "fmul") and len(ops) == 3:
+            rd, rn, rm = ops
+            if all(isinstance(r, Reg) and r.is_vector for r in ops) \
+                    and rd.bits == rn.bits == rm.bits \
+                    and rd.bits in (32, 64):
+                return (K_SIMPLE, _t_fp2(
+                    cpu.vregs, rd.index, rn.index, rm.index, rd.bits,
+                    base, M._bits_to_float, M._float_to_bits))
+            return None
+
+        if base in ("fmadd", "fmsub") and len(ops) == 4:
+            rd, rn, rm, ra = ops
+            if all(isinstance(r, Reg) and r.is_vector for r in ops) \
+                    and rd.bits == rn.bits == rm.bits == ra.bits \
+                    and rd.bits in (32, 64):
+                return (K_SIMPLE, _t_fp3(
+                    cpu.vregs, rd.index, rn.index, rm.index, ra.index,
+                    rd.bits, base == "fmsub",
+                    M._bits_to_float, M._float_to_bits))
+            return None
+
+        # -- data processing ----------------------------------------------
+        if base in ("add", "sub", "adds", "subs"):
+            rd, rn, rm = ops[0], ops[1], ops[2]
+            if not isinstance(rd, Reg) or rd.is_vector:
+                return None
+            setflags = base.endswith("s")
+            sub = base.startswith("sub")
+            width = rd.bits
+            if not _is_plain_gpr(rn):
+                return None
+            if setflags:
+                if not (rd.is_zero or _is_plain_gpr(rd)):
+                    return None
+                d = None if rd.is_zero else rd.index
+                if isinstance(rm, (Imm, ShiftedImm)):
+                    b = (rm.value << rm.shift if isinstance(rm, ShiftedImm)
+                         else rm.value) & ((1 << width) - 1)
+                    return (K_SIMPLE, _t_addsub_flags_imm(
+                        cpu, regs, d, rn.index, b, width, sub))
+                if _is_plain_gpr(rm) and rm.bits == width:
+                    return (K_SIMPLE, _t_addsub_flags_reg(
+                        cpu, regs, d, rn.index, rm.index, width, sub))
+                return None
+            if not _is_plain_gpr(rd):
+                return None
+            if isinstance(rm, (Imm, ShiftedImm)):
+                b = (rm.value << rm.shift if isinstance(rm, ShiftedImm)
+                     else rm.value) & ((1 << width) - 1)
+                return (K_SIMPLE, _t_add_imm(regs, rd.index, rn.index, b,
+                                             width, sub))
+            if isinstance(rm, Reg) and _is_plain_gpr(rm) \
+                    and rm.bits == width:
+                return (K_SIMPLE, _t_add_reg(regs, rd.index, rn.index,
+                                             rm.index, width, sub))
+            if not sub and width == 64 and isinstance(rm, Extended) \
+                    and rm.kind == "uxtw" and not rm.amount \
+                    and _is_plain_gpr(rm.reg):
+                return (K_SIMPLE, _t_add_uxtw(regs, rd.index, rn.index,
+                                              rm.reg.index))
+            if isinstance(rm, Shifted) and rm.kind == "lsl" \
+                    and _is_plain_gpr(rm.reg) and rm.reg.bits == width:
+                return (K_SIMPLE, _t_addsub_shifted(
+                    regs, rd.index, rn.index, rm.reg.index,
+                    rm.amount % width, width, sub))
+            return None
+
+        if base in ("mov", "movz", "movn"):
+            rd, src = ops
+            if not isinstance(rd, Reg) or not _is_plain_gpr(rd):
+                return None
+            mask = (1 << rd.bits) - 1
+            if isinstance(src, (Imm, ShiftedImm)):
+                v = src.value << src.shift if isinstance(src, ShiftedImm) \
+                    else src.value
+                if base == "movn":
+                    v = ~v
+                return (K_SIMPLE, _t_mov_const(regs, rd.index, v & mask))
+            if base == "mov" and _is_plain_gpr(src):
+                return (K_SIMPLE, _t_mov_reg(regs, rd.index, src.index,
+                                             rd.bits))
+            return None
+
+        if base == "movk":
+            rd, src = ops
+            if not _is_plain_gpr(rd):
+                return None
+            shift = src.shift if isinstance(src, ShiftedImm) else 0
+            imm = src.value
+            keep = ((1 << rd.bits) - 1) & ~(0xFFFF << shift)
+            return (K_SIMPLE, _t_movk(regs, rd.index, keep, imm << shift,
+                                      rd.bits))
+
+        if base in ("adr", "adrp"):
+            rd, src = ops
+            if not _is_plain_gpr(rd) or not isinstance(src, Imm):
+                return None
+            return (K_SIMPLE,
+                    _t_mov_const(regs, rd.index, src.value & MASK64))
+
+        if base in ("and", "orr", "eor"):
+            rd, rn, rm = ops
+            if not isinstance(rd, Reg) or rd.is_vector \
+                    or not _is_plain_gpr(rd) or not _is_plain_gpr(rn):
+                return None
+            width = rd.bits
+            if isinstance(rm, Imm):
+                b = rm.value & ((1 << width) - 1)
+                return (K_SIMPLE, _t_logic_imm(regs, rd.index, rn.index, b,
+                                               width, base))
+            if isinstance(rm, Reg) and _is_plain_gpr(rm) \
+                    and rm.bits == width:
+                return (K_SIMPLE, _t_logic_reg(regs, rd.index, rn.index,
+                                               rm.index, width, base))
+            return None
+
+        if base in ("lsl", "lsr", "asr"):
+            rd, rn, src = ops
+            if not _is_plain_gpr(rd) or not _is_plain_gpr(rn) \
+                    or not isinstance(src, Imm):
+                return None
+            return (K_SIMPLE, _t_shift_imm(regs, rd.index, rn.index,
+                                           src.value % rd.bits, rd.bits,
+                                           base))
+
+        if base in ("madd", "msub") and len(ops) == 4:
+            rd, rn, rm, ra = ops
+            if not (_is_plain_gpr(rd) and _is_plain_gpr(rn)
+                    and _is_plain_gpr(rm) and _is_plain_gpr(ra)) \
+                    or not rd.bits == rn.bits == rm.bits == ra.bits:
+                return None
+            return (K_SIMPLE, _t_madd(regs, rd.index, rn.index, rm.index,
+                                      ra.index, rd.bits, base == "msub"))
+
+        if base in ("ubfm", "sbfm") and len(ops) == 4:
+            rd, rn, immr, imms = ops
+            if not _is_plain_gpr(rd) or not _is_plain_gpr(rn) \
+                    or rd.bits != rn.bits:
+                return None
+            return (K_SIMPLE, _t_bitfield(regs, rd.index, rn.index,
+                                          rd.bits, immr.value, imms.value,
+                                          base == "sbfm"))
+
+        # -- memory --------------------------------------------------------
+        if base in _UNSIGNED_LOADS or base in _SIGNED_LOADS:
+            rt, memop = ops[0], ops[1]
+            if not isinstance(memop, Mem) or isinstance(rt, VecReg):
+                return None
+            if rt.is_vector:
+                if base in _SIGNED_LOADS:
+                    return None
+                form = self._mem_form(memop)
+                if form is None:
+                    return None
+                mode, base_i, sp_base, imm, w_i = form
+                size = access_bytes(inst)
+                vmask = (1 << rt.bits) - 1
+                if mode == "imm":
+                    return (K_MEM, _t_vload(cpu.vregs, regs, cpu, mem.read,
+                                            rt.index, base_i, imm, size,
+                                            vmask, sp_base))
+                return (K_MEM, _t_vload_uxtw(cpu.vregs, regs, mem.read,
+                                             rt.index, base_i, w_i, size,
+                                             vmask))
+            if not (rt.is_zero or _is_plain_gpr(rt)):
+                return None
+            if rt.is_zero:
+                return None  # prefetch-style form: keep generic
+            signed_bits = _SIGNED_LOADS.get(base)
+            size = access_bytes(inst)
+            form = self._mem_form(memop)
+            if form is None:
+                return None
+            mode, base_i, sp_base, imm, w_i = form
+            if mode == "imm":
+                return (K_MEM, _t_load(regs, cpu, mem.read, rt.index,
+                                       base_i, imm, size, signed_bits,
+                                       rt.bits, sp_base))
+            return (K_MEM, _t_load_uxtw(regs, mem.read, rt.index, base_i,
+                                        w_i, size, signed_bits, rt.bits))
+
+        if base in _SIMPLE_STORES:
+            rt, memop = ops[0], ops[1]
+            if not isinstance(memop, Mem) or isinstance(rt, VecReg):
+                return None
+            if rt.is_vector:
+                form = self._mem_form(memop)
+                if form is None:
+                    return None
+                mode, base_i, sp_base, imm, w_i = form
+                size = access_bytes(inst)
+                vmask = (1 << rt.bits) - 1
+                if mode == "imm":
+                    return (K_MEM, _t_vstore(cpu.vregs, regs, cpu,
+                                             mem.write, rt.index, base_i,
+                                             imm, size, vmask, sp_base))
+                return (K_MEM, _t_vstore_uxtw(cpu.vregs, regs, mem.write,
+                                              rt.index, base_i, w_i, size,
+                                              vmask))
+            if not (rt.is_zero or _is_plain_gpr(rt)):
+                return None
+            size = access_bytes(inst)
+            form = self._mem_form(memop)
+            if form is None:
+                return None
+            mode, base_i, sp_base, imm, w_i = form
+            t = 0 if rt.is_zero else rt.index
+            if mode == "imm":
+                return (K_MEM, _t_store(regs, cpu, mem.write, t, base_i,
+                                        imm, size, sp_base, rt.is_zero))
+            return (K_MEM, _t_store_uxtw(regs, mem.write, t, base_i, w_i,
+                                         size, rt.is_zero))
+
+        if base in ("ldp", "stp"):
+            rt, rt2, memop = ops
+            if rt.is_vector or rt2.is_vector or rt.bits != 64 \
+                    or rt2.bits != 64:
+                return None
+            if not _is_plain_gpr(rt) or not _is_plain_gpr(rt2):
+                return None
+            form = self._mem_form(memop)
+            if form is None:
+                return None
+            mode, base_i, sp_base, imm, _w_i = form
+            if mode != "imm":
+                return None
+            factory = _t_ldp if base == "ldp" else _t_stp
+            accessor = mem.read if base == "ldp" else mem.write
+            return (K_MEM, factory(regs, cpu, accessor, rt.index,
+                                   rt2.index, base_i, imm, sp_base))
+
+        return None
+
+    def _specialize_vector(self, inst: Instruction):
+        """Lane-arranged vector ops (``add v0.4s, v1.4s, v2.4s`` etc.).
+
+        Only the same-arrangement integer triple forms are specialized;
+        anything else (float lanes, movi/dup, mixed arrangements) keeps
+        the generic handler.
+        """
+        base = inst.base
+        ops = inst.operands
+        if base not in ("add", "sub", "mul", "and", "orr", "eor") \
+                or len(ops) != 3:
+            return None
+        rd, rn, rm = ops
+        if not all(isinstance(o, VecReg) for o in ops):
+            return None
+        if not (rd.arrangement == rn.arrangement == rm.arrangement):
+            return None
+        vregs = self.machine.cpu.vregs
+        d, n, m = rd.reg.index, rn.reg.index, rm.reg.index
+        bits = rd.lane_bits
+        lanes = rd.lanes
+        if base in ("and", "orr", "eor"):
+            full_mask = (1 << (lanes * bits)) - 1
+            return (K_SIMPLE,
+                    _t_vec3_bitwise(vregs, d, n, m, full_mask, base))
+        return (K_SIMPLE, _t_vec3_lanes(vregs, d, n, m, lanes, bits, base))
+
+    @staticmethod
+    def _mem_form(memop: Mem):
+        """Classify a Mem operand for specialization.
+
+        Returns ``(mode, base_index, sp_base, imm, w_index)`` where mode
+        is ``"imm"`` (base register + immediate) or ``"uxtw"`` (the guard
+        addressing mode), or None if the form needs the generic handler.
+        """
+        if memop.mode in (PRE_INDEX, POST_INDEX):
+            return None
+        base = memop.base
+        if not isinstance(base, Reg) or base.is_zero or base.is_vector:
+            return None
+        sp_base = base.is_sp
+        base_i = None if sp_base else base.index
+        off = memop.offset
+        if off is None:
+            return ("imm", base_i, sp_base, 0, None)
+        if isinstance(off, Imm):
+            return ("imm", base_i, sp_base, off.value, None)
+        if isinstance(off, Extended) and off.kind == "uxtw" \
+                and not off.amount and _is_plain_gpr(off.reg) \
+                and not sp_base:
+            return ("uxtw", base_i, sp_base, 0, off.reg.index)
+        return None
+
+    @staticmethod
+    def _canonical(cond: str) -> Optional[str]:
+        try:
+            cond = canonical_condition(cond)
+        except ValueError:
+            return None
+        return cond if cond in _COND_EVAL else None
+
+    # -- guard fusion --------------------------------------------------------
+
+    def _try_fuse(self, pc: int, guard: Instruction,
+                  access: Instruction) -> Optional[tuple]:
+        """Fuse a verified guard instruction with its consumer.
+
+        Returns a complete op tuple (kind K_FUSED_*) or None.  The op's
+        main cost fields describe the *access* instruction; the ``fused``
+        slot carries ``(guard_icost, guard_lat, guard_uses, guard_defs,
+        access_pc)`` so the execute loop charges both entries in retire
+        order — cycle accounting stays bit-identical to stepping.
+        """
+        machine = self.machine
+        cpu = machine.cpu
+        regs = cpu.regs
+        mem = machine.memory
+        gops = guard.operands
+
+        fused_exec = None
+        kind = None
+
+        # Pattern 1: address guard  add Xg, Xb, wS, uxtw  + consumer.
+        if guard.mnemonic == "add" and len(gops) == 3 \
+                and _is_plain_gpr(gops[0]) and gops[0].bits == 64 \
+                and _is_plain_gpr(gops[1]) \
+                and isinstance(gops[2], Extended) \
+                and gops[2].kind == "uxtw" and not gops[2].amount \
+                and _is_plain_gpr(gops[2].reg):
+            g_d = gops[0].index
+            base_i = gops[1].index
+            g_s = gops[2].reg.index
+            aops = access.operands
+            ab = access.base
+            if ab in ("br", "blr", "ret"):
+                reg = aops[0] if aops else LR
+                if _is_plain_gpr(reg) and reg.index == g_d:
+                    link = pc + 8 if ab == "blr" else None
+                    fused_exec = _t_fused_guard_branch(cpu, regs, g_d, g_s,
+                                                       base_i, link)
+                    kind = K_FUSED_BRANCH
+            elif (ab in _UNSIGNED_LOADS or ab in _SIGNED_LOADS
+                    or ab in _SIMPLE_STORES) and len(aops) == 2 \
+                    and isinstance(aops[1], Mem):
+                rt, memop = aops
+                form = self._mem_form(memop)
+                if form is not None and form[0] == "imm" \
+                        and not form[2] and form[1] == g_d \
+                        and not rt.is_vector:
+                    imm = form[3]
+                    size = access_bytes(access)
+                    is_store = ab in _SIMPLE_STORES
+                    if is_store and (rt.is_zero or _is_plain_gpr(rt)):
+                        t = 0 if rt.is_zero else rt.index
+                        fused_exec = _t_fused_guard_store(
+                            regs, mem.write, g_d, g_s, t, imm, size,
+                            base_i, rt.is_zero)
+                        kind = K_FUSED_MEM
+                    elif not is_store and _is_plain_gpr(rt):
+                        fused_exec = _t_fused_guard_load(
+                            regs, mem.read, g_d, g_s, rt.index, imm, size,
+                            _SIGNED_LOADS.get(ab), rt.bits, base_i)
+                        kind = K_FUSED_MEM
+
+        # Pattern 2: offset fold  add/sub wD, wS, #imm  +
+        #            op [Xb, wD, uxtw]  (Table 3 rows 2, 5-7).
+        elif guard.mnemonic in ("add", "sub") and len(gops) == 3 \
+                and _is_plain_gpr(gops[0]) and gops[0].bits == 32 \
+                and _is_plain_gpr(gops[1]) and gops[1].bits == 32 \
+                and isinstance(gops[2], Imm):
+            o_d = gops[0].index
+            o_s = gops[1].index
+            o_imm = gops[2].value & MASK32
+            o_sub = guard.mnemonic == "sub"
+            aops = access.operands
+            ab = access.base
+            if (ab in _UNSIGNED_LOADS or ab in _SIGNED_LOADS
+                    or ab in _SIMPLE_STORES) and len(aops) == 2 \
+                    and isinstance(aops[1], Mem):
+                rt, memop = aops
+                form = self._mem_form(memop)
+                if form is not None and form[0] == "uxtw" \
+                        and form[4] == o_d and not rt.is_vector:
+                    base_i = form[1]
+                    size = access_bytes(access)
+                    is_store = ab in _SIMPLE_STORES
+                    if is_store and (rt.is_zero or _is_plain_gpr(rt)):
+                        t = 0 if rt.is_zero else rt.index
+                        fused_exec = _t_fused_offset_store(
+                            regs, mem.write, o_d, o_s, o_imm, o_sub, t,
+                            size, base_i, rt.is_zero)
+                        kind = K_FUSED_MEM
+                    elif not is_store and _is_plain_gpr(rt):
+                        fused_exec = _t_fused_offset_load(
+                            regs, mem.read, o_d, o_s, o_imm, o_sub,
+                            rt.index, size, _SIGNED_LOADS.get(ab),
+                            rt.bits, base_i)
+                        kind = K_FUSED_MEM
+
+        # Pattern 3: sp guard pair  mov wD, wsp + add sp, Xb, XD.
+        elif guard.mnemonic == "mov" and len(gops) == 2 \
+                and _is_plain_gpr(gops[0]) and gops[0].bits == 32 \
+                and isinstance(gops[1], Reg) and gops[1].is_sp \
+                and gops[1].bits == 32:
+            w_d = gops[0].index
+            aops = access.operands
+            if access.mnemonic == "add" and len(aops) == 3 \
+                    and isinstance(aops[0], Reg) and aops[0].is_sp \
+                    and _is_plain_gpr(aops[1]):
+                src = aops[2]
+                src_reg = src.reg if isinstance(src, Extended) else src
+                src_ok = isinstance(src, Reg) and _is_plain_gpr(src) \
+                    and src.bits == 64
+                if isinstance(src, Extended):
+                    src_ok = src.kind in ("uxtx", "lsl") \
+                        and not src.amount and _is_plain_gpr(src.reg) \
+                        and src.reg.bits == 64
+                if src_ok and src_reg.index == w_d:
+                    fused_exec = _t_fused_sp_guard(cpu, regs, w_d,
+                                                   aops[1].index)
+                    kind = K_FUSED_SIMPLE
+
+        if fused_exec is None:
+            return None
+        g_icost, g_lat, g_uses, g_defs = self._cost_entry(guard)
+        a_icost, a_lat, a_uses, a_defs = self._cost_entry(access)
+        fused_info = (g_icost, g_lat, g_uses, g_defs, pc + 4)
+        return (kind, fused_exec, pc, a_icost, a_lat, a_uses, a_defs,
+                fused_info)

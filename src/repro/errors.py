@@ -1,0 +1,96 @@
+"""Consolidated exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError`, so
+embedders can catch one base class at the sandbox boundary.  Errors that
+previously subclassed a builtin (``ValueError``, ``OSError``) keep that
+builtin first in their MRO, so existing ``except ValueError`` /
+``except OSError`` call sites continue to work.
+
+The classes used to be defined ad hoc in the modules that raise them
+(``repro.core.verifier``, ``repro.runtime.loader``, ...).  Importing
+them from those old locations still works for one release but emits a
+:class:`DeprecationWarning`; import from :mod:`repro.errors` (or the
+package roots, which re-export the common ones) instead.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import warnings as _warnings
+
+__all__ = [
+    "ReproError",
+    "VerificationError",
+    "GuardError",
+    "RewriteError",
+    "ElfError",
+    "LoadError",
+    "RuntimeError_",
+    "Deadlock",
+    "VfsError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class VerificationError(ReproError):
+    """Raised when a binary fails verification and was required to pass."""
+
+
+class GuardError(ValueError, ReproError):
+    """Raised when an access cannot be made safe (malformed input)."""
+
+
+class RewriteError(ValueError, ReproError):
+    """The input assembly cannot be sandboxed."""
+
+
+class ElfError(ValueError, ReproError):
+    """Raised for malformed ELF input."""
+
+
+class LoadError(ReproError):
+    """Raised when an image cannot be loaded into a sandbox slot."""
+
+
+class RuntimeError_(ReproError):
+    """Generic runtime failure."""
+
+
+class Deadlock(RuntimeError_):
+    """All processes are blocked and none can make progress."""
+
+
+class VfsError(OSError, ReproError):
+    """A filesystem error carrying a Unix errno."""
+
+    def __init__(self, err: int, path: str = ""):
+        super().__init__(err, _errno.errorcode.get(err, str(err)), path)
+        self.err = err
+
+
+def deprecated_reexport(module_name: str, exports: dict):
+    """Module ``__getattr__`` factory for the one-release import shims.
+
+    The old defining modules install this so ``from repro.core.verifier
+    import VerificationError`` keeps resolving — with a warning — while
+    the canonical home is :mod:`repro.errors`.
+    """
+
+    def __getattr__(name: str):
+        target = exports.get(name)
+        if target is None:
+            raise AttributeError(
+                f"module {module_name!r} has no attribute {name!r}"
+            )
+        _warnings.warn(
+            f"importing {name} from {module_name} is deprecated; "
+            f"use repro.errors.{name}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return target
+
+    return __getattr__

@@ -1,13 +1,12 @@
 """Multi-subscriber hook registries (the obs subsystem's wiring layer).
 
-PR 1 added two single-slot hook attributes — ``Machine.run_hook`` and
-``Runtime.call_hook`` — that the fault injector claimed for itself.  The
-obs tracer needs the same attachment points, and a single slot means the
-second subscriber silently clobbers the first.  :class:`HookRegistry` is
-the replacement: an ordered list of callables invoked in subscription
-order.  The old attributes remain as deprecated aliases that register
-into the registry (latest assignment replaces the previous alias, which
-preserves the single-slot semantics old callers relied on).
+PR 1 added two single-slot hook attributes that the fault injector
+claimed for itself.  The obs tracer needs the same attachment points,
+and a single slot means the second subscriber silently clobbers the
+first.  :class:`HookRegistry` is the replacement: an ordered list of
+callables invoked in subscription order.  The single-slot aliases were
+deprecated in PR 3 and are now gone; ``Machine.run_hooks`` and
+``Runtime.call_hooks`` are the only hook API (DESIGN.md §10).
 
 Two dispatch styles cover both hook points:
 
@@ -15,8 +14,8 @@ Two dispatch styles cover both hook points:
   Exceptions propagate — the fault injector raises ``Trap`` from inside
   ``run_hooks`` on purpose.
 * *first-result* (``first_result=True``): subscribers run in order until
-  one returns a non-``None`` value, which becomes the call's result — the
-  short-circuit contract of ``Runtime.call_hook``.
+  one returns a non-``None`` value, which becomes the call's result —
+  the short-circuit contract runtime-call injection relies on.
 """
 
 from __future__ import annotations

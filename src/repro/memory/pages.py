@@ -76,6 +76,15 @@ class PagedMemory:
         #: permission-checked write.  The containment auditor uses it to
         #: attribute stores to the sandbox that issued them.
         self.write_observer = None
+        #: Callbacks ``(address, size)`` invoked whenever the *mapping*
+        #: of a region changes (map, unmap, protect, share).  The machine
+        #: uses this to drop translated superblocks and cached decodes
+        #: whose backing text may have changed.
+        self.map_observers: list = []
+
+    def _notify_map_change(self, address: int, size: int) -> None:
+        for observer in self.map_observers:
+            observer(address, size)
 
     # -- mapping -----------------------------------------------------------
 
@@ -95,6 +104,7 @@ class PagedMemory:
             if page not in self._pages:
                 self._pages[page] = bytearray(self.page_size)
             self._perms[page] = perms
+        self._notify_map_change(address, size)
 
     def protect(self, address: int, size: int, perms: int) -> None:
         """Change permissions of an already-mapped region."""
@@ -102,12 +112,14 @@ class PagedMemory:
             if page not in self._pages:
                 raise ValueError(f"page at {page * self.page_size:#x} not mapped")
             self._perms[page] = perms
+        self._notify_map_change(address, size)
 
     def unmap(self, address: int, size: int) -> None:
         for page in self._page_range(address, size):
             self._pages.pop(page, None)
             self._perms.pop(page, None)
             self._cow.discard(page)
+        self._notify_map_change(address, size)
 
     def share_region(self, src: int, dst: int, size: int,
                      perms: Optional[int] = None) -> None:
@@ -127,6 +139,7 @@ class PagedMemory:
             self._perms[d] = self._perms[s] if perms is None else perms
             self._cow.add(s)
             self._cow.add(d)
+        self._notify_map_change(dst, size)
 
     def _break_cow(self, first_page: int, last_page: int) -> None:
         for page in range(first_page, last_page + 1):
@@ -248,6 +261,8 @@ class PagedMemory:
             self._break_cow(address // self.page_size,
                             (address + len(data) - 1) // self.page_size)
         self._raw_write(address, data)
+        if data:
+            self._notify_map_change(address, len(data))
 
     # -- typed helpers -------------------------------------------------------
 

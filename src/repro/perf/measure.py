@@ -97,10 +97,11 @@ def wasm_variant(engine: WasmEngineModel) -> Variant:
 
 
 def run_variant(asm: str, bss_size: int, variant: Variant,
-                model: CostModel) -> RunMetrics:
+                model: CostModel, engine: str = "superblock") -> RunMetrics:
     """Compile one variant of a workload and run it to completion."""
     elf = variant.compile(asm, bss_size)
-    runtime = Runtime(model=model, tlb_walk_scale=variant.tlb_walk_scale)
+    runtime = Runtime(model=model, tlb_walk_scale=variant.tlb_walk_scale,
+                      engine=engine)
     proc = runtime.spawn(elf, verify=variant.verify, policy=variant.policy)
     code = runtime.run_until_exit(proc)
     if code != 0:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..errors import RewriteError
 from .isa import (
     COMPRESSED,
     RvDirective,
@@ -54,7 +55,7 @@ RA, SP = 1, 2
 SP_SMALL_IMM = 1 << 10
 
 
-class RvRewriteError(ValueError):
+class RvRewriteError(RewriteError):
     pass
 
 

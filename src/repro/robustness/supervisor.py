@@ -30,7 +30,8 @@ from ..elf.format import ElfImage, read_elf
 from ..memory.pages import PERM_X
 from ..obs.events import SupervisorEvent
 from ..runtime.process import Process, ProcessState
-from ..runtime.runtime import Deadlock, ResourceQuota, Runtime, RuntimeError_
+from ..errors import Deadlock, RuntimeError_
+from ..runtime.runtime import ResourceQuota, Runtime
 
 __all__ = ["RestartPolicy", "NEVER", "ON_FAILURE", "Incident", "Supervisor"]
 

@@ -1,14 +1,13 @@
 """The LFI runtime: loader, runtime calls, VFS, scheduler, fork, yield."""
 
-from .loader import DEFAULT_STACK_SIZE, LoadError, load_image
+from ..errors import Deadlock, LoadError, RuntimeError_, VfsError
+from .loader import DEFAULT_STACK_SIZE, load_image
 from .process import Process, ProcessState, StdStream
 from .runtime import (
     CALL_OVERHEAD_CYCLES,
-    Deadlock,
     ProcessFault,
     ResourceQuota,
     Runtime,
-    RuntimeError_,
     YIELD_CYCLES,
 )
 from .scheduler import Scheduler
@@ -24,7 +23,6 @@ from .vfs import (
     Pipe,
     PipeEnd,
     Vfs,
-    VfsError,
 )
 
 __all__ = [

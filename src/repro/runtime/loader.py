@@ -12,18 +12,21 @@ from typing import Optional
 
 from ..core.verifier import Verifier, VerifierPolicy
 from ..elf.format import ElfImage, PF_W, PF_X
+from ..errors import LoadError as _LoadError
+from ..errors import deprecated_reexport
 from ..memory.layout import PAGE_SIZE, SandboxLayout
 from ..memory.pages import PERM_R, PERM_RW, PERM_RX, PagedMemory
 from .process import Process, ProcessState, StdStream
 from .table import build_table_page
 
-__all__ = ["LoadError", "load_image", "DEFAULT_STACK_SIZE"]
+__all__ = ["load_image", "DEFAULT_STACK_SIZE"]
 
 DEFAULT_STACK_SIZE = 1024 * 1024
 
 
-class LoadError(Exception):
-    pass
+# LoadError now lives in repro.errors; importing it from here still
+# works for one release but emits a DeprecationWarning.
+__getattr__ = deprecated_reexport(__name__, {"LoadError": _LoadError})
 
 
 def _page_span(addr: int, size: int) -> tuple:
@@ -51,14 +54,14 @@ def load_image(
     usable_hi = layout.usable_end - layout.base
     for segment in image.segments:
         if segment.vaddr < usable_lo or segment.vaddr + segment.memsz > usable_hi:
-            raise LoadError(
+            raise _LoadError(
                 f"segment {segment.vaddr:#x}+{segment.memsz:#x} outside the "
                 f"usable sandbox region"
             )
         if segment.flags & PF_X:
             end = layout.base + segment.vaddr + segment.memsz
             if end > layout.code_limit:
-                raise LoadError(
+                raise _LoadError(
                     "executable segment inside the 128MiB keep-out zone"
                 )
 

@@ -72,6 +72,11 @@ class Process:
     #: loader from the image's PT_NOTE; the obs profiler uses it to
     #: attribute cycle charges to application vs guard code.
     guard_map: Dict[int, str] = field(default_factory=dict)
+    #: Force the per-instruction stepping engine for this process.  Set
+    #: when a per-instruction probe is registered (HookRegistry contract:
+    #: probes observe every retired instruction) or for debugging; the
+    #: child inherits it on fork.
+    step_mode: bool = False
 
     @property
     def base(self) -> int:

@@ -23,6 +23,9 @@ from typing import Callable, Dict, List, Optional
 from ..core.verifier import VerifierPolicy
 from ..elf.format import ElfImage, read_elf
 from ..emulator.costs import CostModel
+from ..errors import Deadlock as _Deadlock
+from ..errors import RuntimeError_ as _RuntimeError
+from ..errors import deprecated_reexport
 from ..hooks import HookRegistry
 from ..emulator.machine import (
     BrkTrap,
@@ -50,8 +53,7 @@ from .syscalls import BLOCK, EXITED, HANDLERS, SWITCH
 from .table import RuntimeCall, call_for_entry, entry_address
 from .vfs import Pipe, PipeEnd, Vfs
 
-__all__ = ["Runtime", "RuntimeError_", "Deadlock", "ProcessFault",
-           "ResourceQuota"]
+__all__ = ["Runtime", "ProcessFault", "ResourceQuota"]
 
 _MASK64 = (1 << 64) - 1
 
@@ -65,12 +67,12 @@ CALL_OVERHEAD_CYCLES = 58.0
 YIELD_CYCLES = 44.0
 
 
-class RuntimeError_(Exception):
-    """Generic runtime failure."""
-
-
-class Deadlock(RuntimeError_):
-    """All processes are blocked and none can make progress."""
+# RuntimeError_ and Deadlock now live in repro.errors; importing them
+# from here still works for one release but emits a DeprecationWarning.
+__getattr__ = deprecated_reexport(__name__, {
+    "RuntimeError_": _RuntimeError,
+    "Deadlock": _Deadlock,
+})
 
 
 @dataclass
@@ -104,10 +106,12 @@ class Runtime:
                  timeslice: int = 50_000,
                  stack_size: int = DEFAULT_STACK_SIZE,
                  first_slot: int = 1,
-                 tlb_walk_scale: float = 1.0):
+                 tlb_walk_scale: float = 1.0,
+                 engine: str = "superblock"):
         self.memory = PagedMemory()
         self.machine = Machine(self.memory, model=model,
-                               tlb_walk_scale=tlb_walk_scale)
+                               tlb_walk_scale=tlb_walk_scale,
+                               engine=engine)
         self.model = model
         self.vfs = Vfs()
         self.scheduler = Scheduler(timeslice=timeslice)
@@ -128,7 +132,6 @@ class Runtime:
         #: fault injector uses this for transient EINTR/ENOMEM-style
         #: errors; the tracer subscribes alongside and returns ``None``.
         self.call_hooks = HookRegistry(first_result=True)
-        self._legacy_call_hook: Optional[Callable] = None
         #: The attached obs event bus, or ``None``.  Set by
         #: :meth:`repro.obs.Tracer.attach`; every emission is guarded by a
         #: ``None`` check so untraced runs pay one attribute load.
@@ -140,26 +143,6 @@ class Runtime:
         for call in RuntimeCall.ALL:
             self.machine.register_host_entry(entry_address(call), call)
 
-    # -- hooks --------------------------------------------------------------------
-
-    @property
-    def call_hook(self) -> Optional[Callable]:
-        """Deprecated single-slot alias for :attr:`call_hooks`.
-
-        Assignment registers into the registry, replacing the previous
-        assignment's registration (the old single-slot contract).  New
-        code should call ``call_hooks.add`` instead.
-        """
-        return self._legacy_call_hook
-
-    @call_hook.setter
-    def call_hook(self, fn: Optional[Callable]) -> None:
-        if self._legacy_call_hook is not None:
-            self.call_hooks.remove(self._legacy_call_hook)
-        self._legacy_call_hook = fn
-        if fn is not None:
-            self.call_hooks.add(fn)
-
     def _emit(self, event) -> None:
         if self.tracer is not None:
             self.tracer.emit(event)
@@ -168,7 +151,7 @@ class Runtime:
 
     def allocate_slot(self) -> SandboxLayout:
         if self._next_slot >= MAX_SANDBOXES_48BIT - 1:
-            raise RuntimeError_("out of sandbox slots")
+            raise _RuntimeError("out of sandbox slots")
         layout = SandboxLayout.for_slot(self._next_slot)
         self._next_slot += 1
         return layout
@@ -224,6 +207,11 @@ class Runtime:
     def _switch_to(self, proc: Process) -> None:
         self._current = proc
         self.machine.cpu.restore(proc.registers)
+        # Per-process superblock context: the fusion patterns depend on the
+        # process's guard provenance, and a per-instruction probe forces
+        # the stepping fallback (observability contract, DESIGN.md §10).
+        self.machine.guard_map = proc.guard_map
+        self.machine.force_stepping = proc.step_mode
 
     def _save(self, proc: Process) -> None:
         proc.registers = self.machine.cpu.snapshot()
@@ -311,6 +299,7 @@ class Runtime:
             state=ProcessState.READY,
             guard_map={rebase(addr): klass
                        for addr, klass in parent.guard_map.items()},
+            step_mode=parent.step_mode,
         )
         child.fds = dict(parent.fds)  # shared descriptions, like Unix
         for obj in child.fds.values():
@@ -438,7 +427,7 @@ class Runtime:
                     for p in blocked:
                         self._retry_blocked(p)
                     if self.scheduler.empty:
-                        raise Deadlock(
+                        raise _Deadlock(
                             f"{len(blocked)} process(es) blocked forever"
                         )
                     continue
@@ -446,7 +435,7 @@ class Runtime:
             self._run_one(proc)
             if max_instructions is not None \
                     and self.machine.instret - start > max_instructions:
-                raise RuntimeError_("global instruction budget exceeded")
+                raise _RuntimeError("global instruction budget exceeded")
 
     def run_until_exit(self, proc: Process,
                        max_instructions: Optional[int] = None) -> int:
@@ -460,12 +449,12 @@ class Runtime:
                 for p in blocked:
                     self._retry_blocked(p)
                 if self.scheduler.empty:
-                    raise Deadlock("target process cannot make progress")
+                    raise _Deadlock("target process cannot make progress")
                 continue
             self._run_one(runnable)
             if max_instructions is not None \
                     and self.machine.instret - start > max_instructions:
-                raise RuntimeError_("instruction budget exceeded")
+                raise _RuntimeError("instruction budget exceeded")
         return proc.exit_code or 0
 
     def _run_one(self, proc: Process) -> None:

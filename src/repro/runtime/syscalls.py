@@ -21,7 +21,8 @@ from ..memory.layout import PAGE_SIZE
 from ..memory.pages import PERM_RW
 from .process import Process, ProcessState, StdStream
 from .table import RuntimeCall
-from .vfs import FileHandle, PipeEnd, Pipe, VfsError
+from ..errors import VfsError
+from .vfs import FileHandle, PipeEnd, Pipe
 
 __all__ = ["BLOCK", "SWITCH", "EXITED", "HANDLERS"]
 

@@ -12,7 +12,10 @@ import errno
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
-__all__ = ["VfsError", "Vfs", "FileHandle", "Pipe", "PipeEnd",
+from ..errors import VfsError as _VfsError
+from ..errors import deprecated_reexport
+
+__all__ = ["Vfs", "FileHandle", "Pipe", "PipeEnd",
            "O_RDONLY", "O_WRONLY", "O_RDWR", "O_CREAT", "O_TRUNC",
            "O_APPEND", "SEEK_SET", "SEEK_CUR", "SEEK_END"]
 
@@ -26,12 +29,9 @@ O_APPEND = 0o2000
 SEEK_SET, SEEK_CUR, SEEK_END = 0, 1, 2
 
 
-class VfsError(OSError):
-    """A filesystem error carrying a Unix errno."""
-
-    def __init__(self, err: int, path: str = ""):
-        super().__init__(err, errno.errorcode.get(err, str(err)), path)
-        self.err = err
+# VfsError now lives in repro.errors; importing it from here still
+# works for one release but emits a DeprecationWarning.
+__getattr__ = deprecated_reexport(__name__, {"VfsError": _VfsError})
 
 
 @dataclass
@@ -77,7 +77,7 @@ class Vfs:
         norm = normalize(path)
         for prefix in self.denied_prefixes:
             if norm == prefix or norm.startswith(prefix.rstrip("/") + "/"):
-                raise VfsError(errno.EACCES, path)
+                raise _VfsError(errno.EACCES, path)
 
     # -- tree ---------------------------------------------------------------
 
@@ -85,21 +85,21 @@ class Vfs:
         node: Union[_Dir, _File] = self.root
         for part in _split(path):
             if not isinstance(node, _Dir) or part not in node.entries:
-                raise VfsError(errno.ENOENT, path)
+                raise _VfsError(errno.ENOENT, path)
             node = node.entries[part]
         return node
 
     def _parent_of(self, path: str) -> Tuple[_Dir, str]:
         parts = _split(path)
         if not parts:
-            raise VfsError(errno.EINVAL, path)
+            raise _VfsError(errno.EINVAL, path)
         node = self.root
         for part in parts[:-1]:
             if part not in node.entries:
-                raise VfsError(errno.ENOENT, path)
+                raise _VfsError(errno.ENOENT, path)
             child = node.entries[part]
             if not isinstance(child, _Dir):
-                raise VfsError(errno.ENOTDIR, path)
+                raise _VfsError(errno.ENOTDIR, path)
             node = child
         return node, parts[-1]
 
@@ -113,12 +113,12 @@ class Vfs:
                     child = _Dir()
                     node.entries[part] = child
                 if not isinstance(child, _Dir):
-                    raise VfsError(errno.ENOTDIR, path)
+                    raise _VfsError(errno.ENOTDIR, path)
                 node = child
             return
         parent, name = self._parent_of(path)
         if name in parent.entries:
-            raise VfsError(errno.EEXIST, path)
+            raise _VfsError(errno.EEXIST, path)
         parent.entries[name] = _Dir()
 
     def write_file(self, path: str, data: bytes) -> None:
@@ -127,35 +127,35 @@ class Vfs:
         parent, name = self._parent_of(path)
         existing = parent.entries.get(name)
         if isinstance(existing, _Dir):
-            raise VfsError(errno.EISDIR, path)
+            raise _VfsError(errno.EISDIR, path)
         parent.entries[name] = _File(bytearray(data))
 
     def read_file(self, path: str) -> bytes:
         node = self._walk(path)
         if not isinstance(node, _File):
-            raise VfsError(errno.EISDIR, path)
+            raise _VfsError(errno.EISDIR, path)
         return bytes(node.data)
 
     def exists(self, path: str) -> bool:
         try:
             self._walk(path)
             return True
-        except VfsError:
+        except _VfsError:
             return False
 
     def listdir(self, path: str) -> List[str]:
         node = self._walk(path)
         if not isinstance(node, _Dir):
-            raise VfsError(errno.ENOTDIR, path)
+            raise _VfsError(errno.ENOTDIR, path)
         return sorted(node.entries)
 
     def unlink(self, path: str) -> None:
         self._check_policy(path)
         parent, name = self._parent_of(path)
         if name not in parent.entries:
-            raise VfsError(errno.ENOENT, path)
+            raise _VfsError(errno.ENOENT, path)
         if isinstance(parent.entries[name], _Dir):
-            raise VfsError(errno.EISDIR, path)
+            raise _VfsError(errno.EISDIR, path)
         del parent.entries[name]
 
     # -- open files ------------------------------------------------------------
@@ -165,14 +165,14 @@ class Vfs:
         accmode = flags & 0o3
         try:
             node = self._walk(path)
-        except VfsError:
+        except _VfsError:
             if not flags & O_CREAT:
                 raise
             parent, name = self._parent_of(path)
             node = _File()
             parent.entries[name] = node
         if isinstance(node, _Dir):
-            raise VfsError(errno.EISDIR, path)
+            raise _VfsError(errno.EISDIR, path)
         if flags & O_TRUNC and accmode != O_RDONLY:
             node.data.clear()
         return FileHandle(node, accmode, append=bool(flags & O_APPEND))
@@ -197,14 +197,14 @@ class FileHandle:
 
     def read(self, count: int) -> bytes:
         if not self.readable:
-            raise VfsError(errno.EBADF)
+            raise _VfsError(errno.EBADF)
         data = bytes(self._node.data[self.offset:self.offset + count])
         self.offset += len(data)
         return data
 
     def write(self, data: bytes) -> int:
         if not self.writable:
-            raise VfsError(errno.EBADF)
+            raise _VfsError(errno.EBADF)
         if self.append:
             self.offset = len(self._node.data)
         end = self.offset + len(data)
@@ -222,9 +222,9 @@ class FileHandle:
         elif whence == SEEK_END:
             new = len(self._node.data) + offset
         else:
-            raise VfsError(errno.EINVAL)
+            raise _VfsError(errno.EINVAL)
         if new < 0:
-            raise VfsError(errno.EINVAL)
+            raise _VfsError(errno.EINVAL)
         self.offset = new
         return new
 
@@ -279,7 +279,7 @@ class PipeEnd:
     def read(self, count: int) -> Optional[bytes]:
         """Bytes, b"" on EOF, or None if the caller must block."""
         if not self.reading:
-            raise VfsError(errno.EBADF)
+            raise _VfsError(errno.EBADF)
         if self.pipe.buffer:
             data = bytes(self.pipe.buffer[:count])
             del self.pipe.buffer[:count]
@@ -291,9 +291,9 @@ class PipeEnd:
     def write(self, data: bytes) -> Optional[int]:
         """Bytes written, or None if the caller must block (buffer full)."""
         if self.reading:
-            raise VfsError(errno.EBADF)
+            raise _VfsError(errno.EBADF)
         if not self.pipe.read_open:
-            raise VfsError(errno.EPIPE)
+            raise _VfsError(errno.EPIPE)
         if len(self.pipe.buffer) + len(data) > Pipe.CAPACITY:
             return None
         self.pipe.buffer.extend(data)

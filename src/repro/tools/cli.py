@@ -9,7 +9,7 @@ from typing import List, Optional
 from ..arm64.decoder import decode_word
 from ..arm64.parser import parse_assembly
 from ..core.options import O0, O1, O2, O2_NO_LOADS, RewriteOptions
-from ..core.rewriter import RewriteError
+from ..errors import RewriteError
 from ..core.verifier import VerifierPolicy, verify_elf
 from ..elf.format import read_elf, write_elf
 from ..emulator.costs import MACHINE_MODELS
@@ -39,7 +39,7 @@ def _cmd_rewrite(args) -> int:
     except RewriteError as exc:
         print(f"rewrite error: {exc}", file=sys.stderr)
         return 1
-    _write_text(args.output, print_assembly(result.program))
+    _write_text(args.out, print_assembly(result.program))
     if args.stats:
         _print_guard_counts(result.stats)
     return 0
@@ -136,8 +136,8 @@ def _cmd_fuzz(args) -> int:
         findings.extend(campaign.run())
         for line in campaign.lines:
             emit(line)
-    if args.log:
-        with open(args.log, "w") as handle:
+    if args.out not in (None, "-"):
+        with open(args.out, "w") as handle:
             handle.write("\n".join(lines) + "\n")
     if findings:
         print(f"FAILED: {len(findings)} finding(s)", file=sys.stderr)
@@ -189,8 +189,12 @@ def _cmd_trace(args) -> int:
         hub.collect(runtime)
         with open(args.metrics, "w") as handle:
             handle.write(hub.snapshot())
-    text = export_chrome_trace(tracer.events, path=args.output)
-    print(f"[{len(tracer.events)} events -> {args.output}]", file=sys.stderr)
+    to_file = args.out not in (None, "-")
+    text = export_chrome_trace(tracer.events,
+                               path=args.out if to_file else None)
+    if not to_file:
+        sys.stdout.write(text)
+    print(f"[{len(tracer.events)} events -> {args.out}]", file=sys.stderr)
     if args.validate:
         problems = validate_trace(text)
         for problem in problems[:10]:
@@ -208,12 +212,16 @@ def _cmd_profile(args) -> int:
     runtime, proc, stats = _spawn_workload(args, setup=profiler.attach)
     code = runtime.run_until_exit(proc, max_instructions=args.max_insts)
     profiler.detach()
+    lines: List[str] = []
     if stats is not None:
-        _print_guard_counts(stats, file=sys.stdout)
-    print(profiler.report())
+        counts = stats.guard_class_counts()
+        lines.append("guards: " + " ".join(
+            f"{name}={counts[name]}" for name in sorted(counts)))
+    lines.append(profiler.report())
     total = profiler.total_cycles()
-    print(f"attributed {total:.1f} of "
-          f"{runtime.machine.cycles - profiler.start_cycles:.1f} cycles")
+    lines.append(
+        f"attributed {total:.1f} of "
+        f"{runtime.machine.cycles - profiler.start_cycles:.1f} cycles")
     if args.bench:
         from ..perf.measure import native_variant, run_variant
         from ..workloads.spec import arena_bss_size, build_benchmark
@@ -222,20 +230,24 @@ def _cmd_profile(args) -> int:
         native = run_variant(asm, arena_bss_size(args.input),
                              native_variant(), MACHINE_MODELS[args.machine])
         overhead_cycles = runtime.machine.cycles - native.cycles
-        print(f"overhead vs native: "
-              f"{overhead_pct(native.cycles, runtime.machine.cycles):+.2f}% "
-              f"({overhead_cycles:+.1f} cycles)")
+        lines.append(
+            f"overhead vs native: "
+            f"{overhead_pct(native.cycles, runtime.machine.cycles):+.2f}% "
+            f"({overhead_cycles:+.1f} cycles)")
         decomposed = profiler.decompose_overhead(overhead_cycles)
-        print("decomposition (amortized; sums to the overhead):")
+        lines.append("decomposition (amortized; sums to the overhead):")
         for bucket in sorted(decomposed):
-            print(f"  {bucket:<8} "
-                  f"{100.0 * decomposed[bucket] / native.cycles:+6.2f}% "
-                  f"({decomposed[bucket]:+.1f} cycles)")
+            lines.append(
+                f"  {bucket:<8} "
+                f"{100.0 * decomposed[bucket] / native.cycles:+6.2f}% "
+                f"({decomposed[bucket]:+.1f} cycles)")
         standalone = sum(profiler.standalone.values())
         if standalone > 0:
             hidden = max(0.0, 1.0 - overhead_cycles / standalone)
-            print(f"guard cost hidden by overlap: {100.0 * hidden:.1f}% "
-                  f"of {standalone:.1f} standalone cycles")
+            lines.append(
+                f"guard cost hidden by overlap: {100.0 * hidden:.1f}% "
+                f"of {standalone:.1f} standalone cycles")
+    _write_text(args.out, "\n".join(lines) + "\n")
     return code
 
 
@@ -270,12 +282,28 @@ def _write_text(path: Optional[str], text: str) -> None:
         handle.write(text)
 
 
-def _add_opt_level(parser) -> None:
-    parser.add_argument("-O", dest="opt_level", default="O2",
-                        choices=sorted(_LEVELS),
-                        help="rewriter optimization level (paper §6.1)")
-    parser.add_argument("--no-exclusives", action="store_true",
-                        help="disallow LL/SC (Spectre hardening, §7.1)")
+def _shared_parents():
+    """The one spelling of the flags every analysis tool shares.
+
+    ``rewrite``/``fuzz``/``trace``/``profile`` take the same ``--seed``,
+    ``--out`` and ``--opt-level`` flags with the same defaults, built once
+    here as argparse parent parsers (DESIGN.md §10).
+    """
+    out = argparse.ArgumentParser(add_help=False)
+    out.add_argument("-o", "--out", "--output", dest="out", default="-",
+                     metavar="PATH",
+                     help="output destination ('-' for stdout)")
+    seed = argparse.ArgumentParser(add_help=False)
+    seed.add_argument("--seed", type=int, default=0,
+                      help="seed for randomized stages (same seed -> "
+                           "byte-identical output)")
+    opt = argparse.ArgumentParser(add_help=False)
+    opt.add_argument("-O", "--opt-level", dest="opt_level", default="O2",
+                     choices=sorted(_LEVELS),
+                     help="rewriter optimization level (paper §6.1)")
+    opt.add_argument("--no-exclusives", action="store_true",
+                     help="disallow LL/SC (Spectre hardening, §7.1)")
+    return out, seed, opt
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -284,23 +312,23 @@ def build_parser() -> argparse.ArgumentParser:
         description="LFI toolchain: rewrite, compile, verify, run, disasm",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    OUT, SEED, OPT = _shared_parents()
 
-    p = sub.add_parser("rewrite", help="insert SFI guards into assembly")
+    p = sub.add_parser("rewrite", parents=[OUT, SEED, OPT],
+                       help="insert SFI guards into assembly")
     p.add_argument("input", help="GNU assembly file ('-' for stdin)")
-    p.add_argument("-o", "--output", default="-")
     p.add_argument("--stats", action="store_true",
                    help="print guard-site counts by class to stderr")
-    _add_opt_level(p)
     p.set_defaults(func=_cmd_rewrite)
 
-    p = sub.add_parser("compile", help="assembly -> sandbox ELF")
+    p = sub.add_parser("compile", parents=[OPT],
+                       help="assembly -> sandbox ELF")
     p.add_argument("input")
     p.add_argument("-o", "--output", required=True)
     p.add_argument("--bss", type=int, default=0,
                    help="extra zero-initialized memory (bytes)")
     p.add_argument("--native", action="store_true",
                    help="skip the rewriter (unsandboxed baseline)")
-    _add_opt_level(p)
     p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser("verify", help="statically verify an ELF")
@@ -323,11 +351,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
-        "fuzz",
+        "fuzz", parents=[OUT, SEED, OPT],
         help="differential fuzzing of the rewriter/verifier/emulator",
     )
-    p.add_argument("--seed", type=int, default=0,
-                   help="campaign seed (same seed -> byte-identical log)")
     p.add_argument("--budget", type=int, default=100,
                    help="number of generated programs (0 = corpus only)")
     p.add_argument("--mutants", type=int, default=4,
@@ -338,10 +364,6 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the corpus replay before the campaign")
     p.add_argument("--save-corpus", default=None, metavar="DIR",
                    help="persist shrunk failures into DIR")
-    p.add_argument("--no-exclusives", action="store_true",
-                   help="generate without LL/SC fragments")
-    p.add_argument("--log", default=None,
-                   help="also write the deterministic log to this file")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-iteration stdout")
     p.set_defaults(func=_cmd_fuzz)
@@ -361,15 +383,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--unsafe-no-verify", action="store_true")
         p.add_argument("--no-loads", action="store_true")
         p.add_argument("--max-insts", type=int, default=None)
-        _add_opt_level(p)
 
     p = sub.add_parser(
-        "trace",
+        "trace", parents=[OUT, SEED, OPT],
         help="run a workload with the obs tracer; export a Chrome trace",
     )
     _add_workload_args(p)
-    p.add_argument("-o", "--output", default="trace.json",
-                   help="Chrome trace_event JSON output path")
     p.add_argument("--sample", type=int, default=0, metavar="N",
                    help="also sample every Nth retired instruction")
     p.add_argument("--validate", action="store_true",
@@ -379,7 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
-        "profile",
+        "profile", parents=[OUT, SEED, OPT],
         help="attribute cycles to app vs guard classes (Table 4 decomposed)",
     )
     _add_workload_args(p)

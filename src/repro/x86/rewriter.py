@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..errors import RewriteError
 from .isa import (
     MemRef,
     UNSAFE_OPS,
@@ -41,7 +42,7 @@ BASE_SLOT = 0
 _RSP_SMALL = 1 << 10
 
 
-class X86RewriteError(ValueError):
+class X86RewriteError(RewriteError):
     pass
 
 

@@ -16,8 +16,8 @@ from repro.core.constants import (
     RESERVED_REGS,
     SCRATCH_REG,
 )
+from repro.errors import GuardError
 from repro.core.guards import (
-    GuardError,
     guard_address,
     guarded_mem,
     sp_guard_pair,

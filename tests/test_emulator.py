@@ -449,3 +449,67 @@ class TestPropertyAlu:
             f" add x1, x0, #{imm}"
         )
         assert cpu.regs[1] == (a + imm) % 2**64
+
+
+class TestCodeInvalidation:
+    """Patched text must never execute from stale superblock translations."""
+
+    SOURCE = """
+        .globl _start
+    _start:
+        mov x0, #0
+        mov x1, #10
+    loop:
+        add x0, x0, #1
+        sub x1, x1, #1
+        cbnz x1, loop
+        hlt
+    """
+
+    def _fresh_machine(self):
+        from repro.emulator import HltTrap
+
+        elf = build_elf(assemble(parse_assembly(self.SOURCE)))
+        memory = PagedMemory()
+        load_elf_into(memory, elf)
+        machine = Machine(memory, engine="superblock")
+        machine.cpu.pc = elf.entry
+        return machine, elf, HltTrap
+
+    def test_permission_cycle_patch_retranslates(self):
+        """protect(RW) -> patch -> protect(RX): the permission changes
+        invalidate overlapping blocks, so the patched word executes."""
+        machine, elf, HltTrap = self._fresh_machine()
+        with pytest.raises(HltTrap):
+            machine.run(fuel=10_000)
+        assert machine.cpu.regs[0] == 10
+        assert machine._sb.cached_blocks > 0
+
+        # Patch `add x0, x0, #1` into `add x0, x0, #2` (imm field +1).
+        memory = machine.memory
+        patch_pc = elf.entry + 8
+        page = patch_pc & ~(memory.page_size - 1)
+        memory.protect(page, memory.page_size, PERM_RW)
+        word = int.from_bytes(memory.read(patch_pc, 4), "little")
+        patched = (word & ~(0xFFF << 10)) | (2 << 10)
+        memory.write(patch_pc, patched.to_bytes(4, "little"))
+        memory.protect(page, memory.page_size, PERM_RX)
+        machine.invalidate_code(patch_pc, 4)  # stepping decode cache
+
+        machine.cpu.pc = elf.entry
+        with pytest.raises(HltTrap):
+            machine.run(fuel=10_000)
+        assert machine.cpu.regs[0] == 20  # the patch took effect
+
+    def test_unmap_drops_cached_blocks(self):
+        machine, elf, HltTrap = self._fresh_machine()
+        with pytest.raises(HltTrap):
+            machine.run(fuel=10_000)
+        assert machine._sb.cached_blocks > 0
+        memory = machine.memory
+        page = elf.entry & ~(memory.page_size - 1)
+        memory.unmap(page, memory.page_size)
+        assert all(
+            not (page <= start < page + memory.page_size)
+            for start in machine._sb._blocks
+        )

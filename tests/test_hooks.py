@@ -1,9 +1,10 @@
-"""Multi-subscriber hook registry: semantics, aliases, and composition.
+"""Multi-subscriber hook registry: semantics and composition.
 
-The registry replaced the single-slot ``Machine.run_hook`` /
-``Runtime.call_hook`` attributes (which silently clobbered each other);
-the key property under test is that a FaultInjector and a Tracer can
-observe the same run simultaneously.
+The registry replaced — and as of this release fully supersedes — the
+single-slot ``Machine.run_hook`` / ``Runtime.call_hook`` attributes
+(which silently clobbered each other); the key property under test is
+that a FaultInjector and a Tracer can observe the same run
+simultaneously.
 """
 
 import pytest
@@ -60,31 +61,29 @@ class TestHookRegistry:
         assert hooks() is None
 
 
-class TestDeprecatedAliases:
-    def test_machine_run_hook_alias_replaces(self):
-        machine = Machine(PagedMemory())
-        first, second = (lambda m, f: None), (lambda m, f: None)
-        machine.run_hook = first
-        machine.run_hook = second
-        assert machine.run_hook is second
-        assert first not in machine.run_hooks
-        assert second in machine.run_hooks
+class TestAliasRemoval:
+    """The single-slot aliases are gone; the registries are the only API."""
 
-    def test_machine_alias_composes_with_registry(self):
+    def test_machine_has_no_run_hook_property(self):
+        machine = Machine(PagedMemory())
+        assert not isinstance(
+            getattr(type(machine), "run_hook", None), property
+        )
+        assert isinstance(machine.run_hooks, HookRegistry)
+
+    def test_runtime_has_no_call_hook_property(self):
+        runtime = Runtime()
+        assert not isinstance(
+            getattr(type(runtime), "call_hook", None), property
+        )
+        assert isinstance(runtime.call_hooks, HookRegistry)
+
+    def test_run_hooks_registry_is_the_api(self):
         machine = Machine(PagedMemory())
         keeper = machine.run_hooks.add(lambda m, f: None)
-        machine.run_hook = lambda m, f: None
-        machine.run_hook = None
+        other = machine.run_hooks.add(lambda m, f: None)
+        machine.run_hooks.remove(other)
         assert keeper in machine.run_hooks  # unrelated subscribers survive
-
-    def test_runtime_call_hook_alias(self):
-        runtime = Runtime()
-        fn = lambda proc, call: None  # noqa: E731
-        runtime.call_hook = fn
-        assert runtime.call_hook is fn
-        assert fn in runtime.call_hooks
-        runtime.call_hook = None
-        assert fn not in runtime.call_hooks
 
 
 class TestComposition:

@@ -1,0 +1,261 @@
+"""Differential tests: the superblock engine vs the stepping interpreter.
+
+The superblock engine (DESIGN.md §10) is a pure execution-strategy
+change: translated straight-line blocks with fused guard sequences must
+be architecturally invisible.  Every test here runs the same program
+under ``engine="stepping"`` and ``engine="superblock"`` and demands
+bit-identical observables: final registers, memory, retired-instruction
+counts, modeled cycles, faults, and exported traces.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core import O0, O2
+from repro.emulator import APPLE_M1, Machine, OutOfFuel
+from repro.memory import PagedMemory
+from repro.obs import GuardProfiler, Tracer
+from repro.obs.chrome import export_chrome_trace
+from repro.perf import lfi_variant, native_variant, run_variant
+from repro.runtime import Runtime
+from repro.toolchain import compile_lfi
+from repro.workloads import WASM_SUBSET
+from repro.workloads.spec import arena_bss_size, build_benchmark
+
+from .conftest import load_elf_into
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+ENGINES = ("stepping", "superblock")
+
+
+def corpus_programs():
+    """Every runnable (non-reject) program in the shrunk-failure corpus."""
+    out = []
+    for path in sorted(CORPUS_DIR.glob("*.json")):
+        entry = json.loads(path.read_text())
+        if entry.get("kind") == "program" and entry["expect"] != "reject":
+            out.append(pytest.param(entry["source"], id=entry["name"]))
+    return out
+
+
+def observables(engine: str, elf, model=None, timeslice: int = 50_000):
+    """Run ``elf`` to completion under ``engine``; return all observables."""
+    runtime = Runtime(model=model, timeslice=timeslice, engine=engine)
+    proc = runtime.spawn(elf)
+    runtime.run()
+    memory = {
+        base: runtime.memory._raw_read(base, size)
+        for base, size, _ in sorted(runtime.memory.mapped_regions())
+    }
+    return {
+        "registers": proc.registers,
+        "instret": runtime.machine.instret,
+        "cycles": runtime.machine.cycles,
+        "faults": [(f.kind, f.detail, f.pc) for f in runtime.faults],
+        "exit": proc.exit_code,
+        "stdout": runtime.stdout_of(proc),
+        "memory": memory,
+    }
+
+
+class TestCorpusDifferential:
+    @pytest.mark.parametrize("source", corpus_programs())
+    @pytest.mark.parametrize("options", [O0, O2], ids=["O0", "O2"])
+    def test_corpus_program_identical(self, source, options):
+        elf = compile_lfi(source, options=options).elf
+        stepping = observables("stepping", elf, model=APPLE_M1)
+        superblock = observables("superblock", elf, model=APPLE_M1)
+        assert stepping == superblock
+
+    @pytest.mark.parametrize("source", corpus_programs())
+    def test_corpus_program_identical_under_preemption(self, source):
+        """A tiny odd timeslice forces blocks to split on fuel exhaustion."""
+        elf = compile_lfi(source, options=O2).elf
+        stepping = observables("stepping", elf, timeslice=7)
+        superblock = observables("superblock", elf, timeslice=7)
+        assert stepping == superblock
+
+
+class TestTable4Differential:
+    @pytest.mark.parametrize("name", sorted(WASM_SUBSET))
+    def test_kernel_identical(self, name):
+        asm = build_benchmark(name, target_instructions=20_000)
+        bss = arena_bss_size(name)
+        runs = {}
+        for variant in (native_variant(), lfi_variant(O2, "LFI O2")):
+            for engine in ENGINES:
+                m = run_variant(asm, bss, variant, APPLE_M1, engine=engine)
+                runs[(variant.name, engine)] = (m.instructions, m.cycles)
+            assert runs[(variant.name, "stepping")] \
+                == runs[(variant.name, "superblock")]
+
+
+class TestObservability:
+    def _traced_run(self, elf, engine):
+        runtime = Runtime(model=APPLE_M1, engine=engine)
+        tracer = Tracer().attach(runtime)
+        proc = runtime.spawn(elf)
+        runtime.run()
+        return export_chrome_trace(tracer.events), proc
+
+    def test_trace_export_byte_identical(self):
+        asm = build_benchmark("505.mcf", target_instructions=10_000)
+        elf = compile_lfi(asm, options=O2,
+                          bss_size=arena_bss_size("505.mcf")).elf
+        a, _ = self._traced_run(elf, "stepping")
+        b, _ = self._traced_run(elf, "superblock")
+        assert a == b
+
+    def test_profiler_telescopes_on_superblock_runtime(self):
+        """A per-instruction probe forces stepping fallback, and the
+        profiler's buckets still sum exactly to the elapsed cycles."""
+        asm = build_benchmark("505.mcf", target_instructions=10_000)
+        elf = compile_lfi(asm, options=O2,
+                          bss_size=arena_bss_size("505.mcf")).elf
+        breakdowns = {}
+        for engine in ENGINES:
+            runtime = Runtime(model=APPLE_M1, engine=engine)
+            profiler = GuardProfiler().attach(runtime)
+            proc = runtime.spawn(elf)
+            runtime.run()
+            profiler.detach()
+            elapsed = runtime.machine.cycles - profiler.start_cycles
+            assert sum(profiler.breakdown().values()) \
+                == pytest.approx(elapsed, abs=1e-9)
+            breakdowns[engine] = (profiler.breakdown(), proc.registers)
+        assert breakdowns["stepping"] == breakdowns["superblock"]
+
+    def test_step_probe_forces_per_instruction_fallback(self):
+        """While a probe is registered, no block is ever dispatched."""
+        memory = PagedMemory()
+        asm = """
+            .globl _start
+        _start:
+            mov x0, #0
+            mov x1, #50
+        loop:
+            add x0, x0, x1
+            sub x1, x1, #1
+            cbnz x1, loop
+            hlt
+        """
+        from repro.arm64 import parse_assembly
+        from repro.arm64.assembler import assemble
+        from repro.elf import build_elf
+        from repro.emulator import HltTrap
+
+        elf = build_elf(assemble(parse_assembly(asm)))
+        load_elf_into(memory, elf)
+        machine = Machine(memory, engine="superblock")
+        machine.cpu.pc = elf.entry
+        seen = []
+        machine.add_step_probe(
+            lambda m, pc, klass, delta: seen.append(pc))
+        with pytest.raises(HltTrap):
+            machine.run(fuel=10_000)
+        assert machine._sb.translations == 0
+        # The probe saw every retired instruction, not one per block.
+        assert len([pc for pc in seen if pc is not None]) == machine.instret
+
+
+class TestFuel:
+    def _machine(self, body: str) -> Machine:
+        from repro.arm64 import parse_assembly
+        from repro.arm64.assembler import assemble
+        from repro.elf import build_elf
+
+        elf = build_elf(assemble(parse_assembly(body)))
+        memory = PagedMemory()
+        load_elf_into(memory, elf)
+        machine = Machine(memory, engine="superblock")
+        machine.cpu.pc = elf.entry
+        return machine
+
+    BODY = """
+        .globl _start
+    _start:
+        mov x0, #0
+        mov x1, #100
+    loop:
+        add x0, x0, x1
+        sub x1, x1, #1
+        cbnz x1, loop
+        hlt
+    """
+
+    @pytest.mark.parametrize("fuel", [1, 2, 3, 5, 7, 64])
+    def test_block_never_overruns_fuel(self, fuel):
+        """Every slice of ``fuel`` retires exactly ``fuel`` instructions,
+        matching the stepping contract instruction-for-instruction."""
+        from repro.emulator import HltTrap
+
+        stepper = self._machine(self.BODY)
+        stepper.engine = "stepping"
+        blocky = self._machine(self.BODY)
+        for _ in range(20):
+            outcomes = []
+            for machine in (stepper, blocky):
+                with pytest.raises((OutOfFuel, HltTrap)) as exc:
+                    machine.run(fuel=fuel)
+                outcomes.append(exc.type)
+            assert outcomes[0] is outcomes[1]
+            assert blocky.instret == stepper.instret
+            assert blocky.cpu.pc == stepper.cpu.pc
+            assert blocky.cpu.regs == stepper.cpu.regs
+            if outcomes[0] is HltTrap:
+                break
+
+
+class TestInvalidation:
+    def _runtime_with_cached_proc(self):
+        asm = build_benchmark("505.mcf", target_instructions=5_000)
+        elf = compile_lfi(asm, options=O2,
+                          bss_size=arena_bss_size("505.mcf")).elf
+        runtime = Runtime(engine="superblock")
+        proc = runtime.spawn(elf)
+        return runtime, proc
+
+    def test_mmap_over_cached_text_retranslates(self):
+        runtime, proc = self._runtime_with_cached_proc()
+        runtime.run()
+        sb = runtime.machine._sb
+        assert sb.cached_blocks > 0
+        before = sb.cached_blocks
+        lo = proc.layout.base
+        hi = proc.layout.end
+        # Re-mapping the slot (exec-into-fresh-image style) must drop
+        # every cached block that overlaps it.
+        page = runtime.memory.page_size
+        runtime.memory.map_region(lo + 64 * page, page, 2 | 1)
+        spanning = [s for s in list(sb._blocks)
+                    if lo <= s < hi]
+        runtime.memory.unmap(lo + 64 * page, page)
+        assert sb.invalidations >= 0  # counters exist and move below
+        count0 = sb.invalidations
+        # Now invalidate the whole slot the way exec/munmap would.
+        runtime.machine.invalidate_code(lo, hi - lo)
+        assert all(sb.block_at(s) is None for s in spanning)
+        assert sb.invalidations >= count0 + len(spanning)
+        assert sb.cached_blocks <= before - len(spanning)
+
+    def test_permission_downgrade_invalidates(self):
+        runtime, proc = self._runtime_with_cached_proc()
+        runtime.run()
+        sb = runtime.machine._sb
+        text_blocks = [s for s in list(sb._blocks)
+                       if proc.layout.base <= s < proc.layout.end]
+        assert text_blocks
+        page = runtime.memory.page_size
+        target = min(text_blocks) & ~(page - 1)
+        from repro.memory import PERM_RW
+
+        runtime.memory.protect(target, page, PERM_RW)  # drop execute
+        assert all(
+            sb.block_at(s) is None
+            for s in text_blocks
+            if target <= s < target + page
+        )

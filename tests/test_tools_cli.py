@@ -122,3 +122,31 @@ class TestModuleEntry:
             capture_output=True, text=True,
         )
         assert result.returncode == 7
+
+
+class TestSharedFlags:
+    """rewrite/fuzz/trace/profile share one spelling of the common flags."""
+
+    COMMANDS = ("rewrite", "fuzz", "trace", "profile")
+
+    def _parse(self, command, extra):
+        from repro.tools.cli import build_parser
+
+        positional = [] if command == "fuzz" else ["input.s"]
+        return build_parser().parse_args([command, *positional, *extra])
+
+    def test_defaults_identical(self):
+        for command in self.COMMANDS:
+            args = self._parse(command, [])
+            assert args.out == "-", command
+            assert args.seed == 0, command
+            assert args.opt_level == "O2", command
+
+    def test_spellings_accepted_everywhere(self):
+        for command in self.COMMANDS:
+            args = self._parse(command, [
+                "--seed", "9", "--out", "x.txt", "--opt-level", "O1",
+            ])
+            assert (args.seed, args.out, args.opt_level) == (9, "x.txt", "O1")
+            args = self._parse(command, ["-o", "y.txt", "-O", "O0"])
+            assert (args.out, args.opt_level) == ("y.txt", "O0")

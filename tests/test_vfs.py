@@ -4,6 +4,7 @@ import errno
 
 import pytest
 
+from repro.errors import VfsError
 from repro.runtime.vfs import (
     O_APPEND,
     O_CREAT,
@@ -16,7 +17,6 @@ from repro.runtime.vfs import (
     SEEK_END,
     SEEK_SET,
     Vfs,
-    VfsError,
     normalize,
 )
 
