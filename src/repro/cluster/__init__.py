@@ -1,0 +1,34 @@
+"""repro.cluster — sharded multi-worker execution with warm spawn.
+
+The paper's runtime scales to ~64Ki sandboxes in one address space (§1/§3)
+but a single interpreter thread caps throughput; this package shards
+sandboxes across N OS worker processes (DESIGN.md §11):
+
+* :class:`Cluster` — the batching front-end: ``submit`` routes jobs to the
+  least-loaded worker, ``drain`` collects results deterministically
+  (ordered by submission id, byte-identical however many workers ran);
+* each worker owns a private :class:`~repro.runtime.Runtime` with the
+  superblock engine and executes its jobs sequentially;
+* :class:`ImageCache` / :class:`WarmPool` — verify an image once, then
+  warm-spawn clones by COW snapshot restore instead of cold load+verify;
+* crashed workers are restarted by a
+  :class:`~repro.robustness.WorkerSupervisor` and their in-flight jobs
+  re-dispatched, so a mid-batch worker death loses no jobs.
+"""
+
+from ..errors import ClusterError
+from .cluster import Cluster
+from .jobs import Job, JobResult, normalize_metrics
+from .snapshot import ImageCache, WarmPool
+from .worker import execute_job
+
+__all__ = [
+    "Cluster",
+    "ClusterError",
+    "Job",
+    "JobResult",
+    "ImageCache",
+    "WarmPool",
+    "execute_job",
+    "normalize_metrics",
+]

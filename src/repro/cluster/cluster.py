@@ -1,0 +1,231 @@
+"""The sharded cluster front-end: submit, route, drain (DESIGN.md §11).
+
+The :class:`Cluster` partitions a job batch across N OS worker processes
+(`multiprocessing` fork context), each running a private superblock
+runtime.  Three rules make it safe and deterministic:
+
+* **routing** — ``submit`` sends a job to the worker with the fewest
+  outstanding jobs (ties to the lowest worker id).  Routing affects only
+  placement diagnostics, never results;
+* **determinism** — ``drain`` orders results by submission id, and every
+  result's deterministic fields (exit code, stdout/stderr, fault kinds,
+  pid-normalized metrics) are placement-independent, so 1-worker and
+  N-worker runs of the same batch are byte-identical;
+* **fault tolerance** — the front-end retains every job payload until its
+  result arrives.  A dead worker is reported to a
+  :class:`~repro.robustness.WorkerSupervisor`; under an on-failure policy
+  it is relaunched (fresh queue, next generation) and its in-flight jobs
+  are re-dispatched through normal routing.  Duplicate results (a worker
+  that died *after* reporting) are deduplicated by job id — executions
+  are deterministic, so duplicates are identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as _queue
+from typing import Dict, List, Optional, Set
+
+from ..errors import ClusterError
+from ..obs.metrics import merge_snapshots
+from ..robustness.supervisor import ON_FAILURE, RestartPolicy, WorkerSupervisor
+from .jobs import Job, JobResult
+from .worker import DEFAULT_JOB_BUDGET, worker_main
+
+__all__ = ["Cluster"]
+
+
+class _WorkerHandle:
+    """Front-end bookkeeping for one worker process (one per shard)."""
+
+    __slots__ = ("worker_id", "generation", "process", "job_queue",
+                 "outstanding", "completed", "dead")
+
+    def __init__(self, worker_id: int, generation: int, process, job_queue):
+        self.worker_id = worker_id
+        self.generation = generation
+        self.process = process
+        self.job_queue = job_queue
+        self.outstanding: Set[int] = set()
+        self.completed = 0
+        #: Crashed and not restarted; excluded from routing and rechecks.
+        self.dead = False
+
+
+class Cluster:
+    """Batching front-end over N sharded runtime workers."""
+
+    def __init__(self, workers: int = 2, *,
+                 engine: str = "superblock",
+                 timeslice: int = 50_000,
+                 warm_spawn: bool = True,
+                 budget: int = DEFAULT_JOB_BUDGET,
+                 restart_policy: RestartPolicy = ON_FAILURE,
+                 chaos: Optional[Dict[int, int]] = None,
+                 poll_interval: float = 0.05):
+        if workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        self._config = {
+            "engine": engine,
+            "timeslice": timeslice,
+            "warm_spawn": warm_spawn,
+            "budget": budget,
+            "chaos": dict(chaos) if chaos else {},
+        }
+        self._ctx = multiprocessing.get_context("fork")
+        self._result_queue = self._ctx.Queue()
+        self._poll_interval = poll_interval
+        self.supervisor = WorkerSupervisor(restart_policy)
+        self._jobs: Dict[int, Job] = {}
+        self._results: Dict[int, JobResult] = {}
+        self._next_job_id = 0
+        self._closed = False
+        self._workers: List[_WorkerHandle] = [
+            self._launch(worker_id, generation=0)
+            for worker_id in range(workers)
+        ]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _launch(self, worker_id: int, generation: int) -> _WorkerHandle:
+        job_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, generation, self._config, job_queue,
+                  self._result_queue),
+            daemon=True,
+            name=f"repro-cluster-w{worker_id}g{generation}",
+        )
+        process.start()
+        return _WorkerHandle(worker_id, generation, process, job_queue)
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            if handle.process.is_alive():
+                try:
+                    handle.job_queue.put(None)
+                except (OSError, ValueError):
+                    pass
+        for handle in self._workers:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, program: bytes, stdin: bytes = b"",
+               max_instructions: Optional[int] = None) -> int:
+        """Queue one job; returns its submission id."""
+        if self._closed:
+            raise ClusterError("cluster is closed")
+        job = Job(self._next_job_id, bytes(program), bytes(stdin),
+                  max_instructions)
+        self._next_job_id += 1
+        self._jobs[job.job_id] = job
+        self._dispatch(job)
+        return job.job_id
+
+    def _dispatch(self, job: Job) -> None:
+        alive = [h for h in self._workers if not h.dead]
+        if not alive:
+            raise ClusterError("no live workers left to dispatch to")
+        handle = min(alive,
+                     key=lambda h: (len(h.outstanding), h.worker_id))
+        handle.outstanding.add(job.job_id)
+        handle.job_queue.put(job.payload())
+
+    # -- collection ----------------------------------------------------------
+
+    def drain(self) -> List[JobResult]:
+        """Block until every submitted job has a result; ordered by id.
+
+        Survives worker crashes: dead workers are restarted per the
+        supervisor's policy and their in-flight jobs re-dispatched.  Raises
+        :class:`ClusterError` once a crashed worker's restart budget is
+        exhausted with jobs still assigned to it.
+        """
+        pending = set(self._jobs) - set(self._results)
+        while pending:
+            try:
+                payload = self._result_queue.get(
+                    timeout=self._poll_interval)
+            except _queue.Empty:
+                self._check_workers()
+                continue
+            job_id = payload["job_id"]
+            if job_id in self._results:
+                continue  # duplicate after a crash re-dispatch
+            for handle in self._workers:
+                if job_id in handle.outstanding:
+                    handle.outstanding.discard(job_id)
+                    handle.completed += 1
+            self._results[job_id] = JobResult.from_payload(payload)
+            pending.discard(job_id)
+        return [self._results[job_id] for job_id in sorted(self._results)]
+
+    def _check_workers(self) -> None:
+        for index, handle in enumerate(self._workers):
+            if handle.dead or handle.process.is_alive():
+                continue
+            in_flight = sorted(handle.outstanding)
+            restart = self.supervisor.worker_crashed(
+                handle.worker_id, handle.process.pid or 0,
+                handle.process.exitcode, len(in_flight))
+            if not restart:
+                handle.dead = True
+                if in_flight:
+                    raise ClusterError(
+                        f"worker-{handle.worker_id} died "
+                        f"(exitcode={handle.process.exitcode}) with "
+                        f"{len(in_flight)} job(s) in flight and no "
+                        f"restarts left")
+                continue
+            replacement = self._launch(handle.worker_id,
+                                       handle.generation + 1)
+            replacement.completed = handle.completed
+            self._workers[index] = replacement
+            # Re-dispatch everything the dead worker still owed, through
+            # normal routing (any worker may pick the job up).
+            for job_id in in_flight:
+                self._dispatch(self._jobs[job_id])
+
+    # -- reporting -----------------------------------------------------------
+
+    def metrics_report(self) -> str:
+        """One merged, deterministic metrics report for the whole batch.
+
+        Byte-identical for the same batch regardless of worker count:
+        per-job snapshots are already placement-independent, and they are
+        merged in submission order under ``job[<id>]`` prefixes.
+        """
+        parts = [(f"job[{job_id}]", self._results[job_id].metrics)
+                 for job_id in sorted(self._results)]
+        return f"cluster.jobs {len(parts)}\n" + merge_snapshots(parts)
+
+    def fleet_report(self) -> dict:
+        """Placement and health diagnostics (worker-count dependent)."""
+        warm_hits = sum(1 for r in self._results.values()
+                        if r.diag.get("warm"))
+        return {
+            "workers": len(self._workers),
+            "jobs": len(self._results),
+            "completed_per_worker": {
+                handle.worker_id: handle.completed
+                for handle in self._workers
+            },
+            "warm_hits": warm_hits,
+            "warm_misses": len(self._results) - warm_hits,
+            "restarts": self.supervisor.total_restarts,
+            "incidents": self.supervisor.incident_log(),
+        }

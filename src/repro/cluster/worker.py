@@ -1,0 +1,158 @@
+"""Cluster worker: one OS process, one Runtime, jobs run sequentially.
+
+Each worker owns a private :class:`~repro.runtime.Runtime` (superblock
+engine, no cost model) plus a :class:`~repro.cluster.snapshot.WarmPool`,
+and executes the jobs it is handed one at a time.  Determinism contract
+(DESIGN.md §11): with ``model=None`` the machine's cycle counter is the
+instruction counter, there are no TLB/cache side channels, and each job
+runs in a fresh slot with fresh per-job observers — so a job's
+deterministic result fields depend only on the job, never on the worker,
+the slot, or what ran before it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..errors import Deadlock, RuntimeError_
+from ..memory.layout import SandboxLayout
+from ..obs.metrics import MetricsHub
+from ..obs.tracer import Tracer
+from ..runtime.process import ProcessState
+from ..runtime.runtime import ResourceQuota, Runtime
+from .jobs import normalize_metrics
+from .snapshot import WarmPool
+
+__all__ = ["execute_job", "worker_main"]
+
+#: Hard per-job safety net so a runaway job cannot hang the worker.
+DEFAULT_JOB_BUDGET = 20_000_000
+
+#: Exit status a chaos-crashed worker dies with (fault injection).
+CHAOS_EXIT = 17
+
+
+def execute_job(runtime: Runtime, pool: Optional[WarmPool],
+                job: dict, budget: int = DEFAULT_JOB_BUDGET) -> dict:
+    """Run one job to completion; returns the result payload dict.
+
+    The runtime is left clean for the next job: every process the job
+    created is terminated and reaped, and every slot the job allocated
+    (including those of already-reaped fork children) is unmapped with its
+    translations swept.  Template slots owned by the pool persist — they
+    are the point of warm spawn.
+    """
+    slot_start = runtime._next_slot
+    pid_start = runtime._next_pid
+    program = job["program"]
+    if pool is not None:
+        warm_hit = pool.has_template(program)
+        proc = pool.spawn(program)
+    else:
+        warm_hit = False
+        proc = runtime.spawn(program)
+    if job.get("stdin"):
+        proc.fds[0].buffer.extend(job["stdin"])
+    if job.get("max_instructions") is not None:
+        runtime.set_quota(
+            proc, ResourceQuota(max_instructions=job["max_instructions"]))
+
+    tracer = Tracer(record=False)
+    tracer.attach(runtime)
+    hub = MetricsHub().attach(tracer)  # no runtime: no step probe, no
+    #                                    stepping fallback, superblocks stay
+    fault_cursor = len(runtime.faults)
+    instret0 = runtime.machine.instret
+    cycles0 = runtime.machine.cycles
+    status = "ok"
+    try:
+        runtime.run_until_exit(proc, max_instructions=budget)
+    except Deadlock:
+        status = "deadlock"
+        _kill_live(runtime, 128 + 6)
+    except RuntimeError_:
+        status = "budget"
+        _kill_live(runtime, 128 + 9)
+    finally:
+        hub.detach()
+        tracer.detach()
+
+    stderr = proc.fds[2].text() if 2 in proc.fds else ""
+    payload = {
+        "job_id": job["job_id"],
+        "exit_code": proc.exit_code or 0,
+        "stdout": runtime.stdout_of(proc),
+        "stderr": stderr,
+        "metrics": normalize_metrics(hub.snapshot(), proc.pid),
+        "faults": [f.kind for f in runtime.faults[fault_cursor:]],
+        "diag": {
+            "warm": warm_hit,
+            "status": status,
+            "instructions": runtime.machine.instret - instret0,
+            "cycles": runtime.machine.cycles - cycles0,
+        },
+    }
+    _cleanup(runtime, pool, slot_start, pid_start)
+    return payload
+
+
+def _kill_live(runtime: Runtime, code: int) -> None:
+    for pid in sorted(runtime.processes):
+        p = runtime.processes[pid]
+        if p.state != ProcessState.ZOMBIE:
+            runtime.terminate(p, code)
+
+
+def _cleanup(runtime: Runtime, pool: Optional[WarmPool],
+             slot_start: int, pid_start: int) -> None:
+    """Tear down everything the finished job left behind, deterministically.
+
+    Slots are swept by allocation watermark, not by surviving processes —
+    a fork child reaped by ``wait`` is gone from the process table but its
+    slot is still mapped.  Pool-owned template slots are exempt.
+    """
+    _kill_live(runtime, 128 + 9)
+    for pid in sorted(runtime.processes):
+        runtime.reap(runtime.processes[pid])
+    keep = pool.template_slots() if pool is not None else set()
+    for slot in range(slot_start, runtime._next_slot):
+        layout = SandboxLayout.for_slot(slot)
+        if layout.base in keep:
+            continue
+        runtime.reclaim_slot(layout)
+    for pid in range(pid_start, runtime._next_pid):
+        runtime._mmap_cursors.pop(pid, None)
+        runtime.quotas.pop(pid, None)
+
+
+def worker_main(worker_id: int, generation: int, config: dict,
+                job_queue, result_queue) -> None:
+    """Worker process entry point: pull jobs until the shutdown sentinel.
+
+    Fault injection: when ``config["chaos"]`` maps this worker id to N and
+    this is the worker's first generation, the process dies with
+    ``os._exit`` on taking its (N+1)th job — before producing a result —
+    which is exactly the crash window the front-end must survive.
+    """
+    runtime = Runtime(model=None,
+                      engine=config.get("engine", "superblock"),
+                      timeslice=config.get("timeslice", 50_000))
+    pool = WarmPool(runtime) if config.get("warm_spawn", True) else None
+    budget = config.get("budget", DEFAULT_JOB_BUDGET)
+    crash_after = None
+    if generation == 0:
+        crash_after = (config.get("chaos") or {}).get(worker_id)
+    taken = 0
+    while True:
+        job = job_queue.get()
+        if job is None:
+            return
+        taken += 1
+        if crash_after is not None and taken > crash_after:
+            os._exit(CHAOS_EXIT)
+        payload = execute_job(runtime, pool, job, budget=budget)
+        # Diagnostic only — placement is intentionally outside the
+        # deterministic result key (it varies with worker count).
+        payload["diag"]["worker"] = worker_id
+        result_queue.put(payload)

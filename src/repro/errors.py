@@ -27,6 +27,7 @@ __all__ = [
     "LoadError",
     "RuntimeError_",
     "Deadlock",
+    "ClusterError",
     "VfsError",
 ]
 
@@ -61,6 +62,10 @@ class RuntimeError_(ReproError):
 
 class Deadlock(RuntimeError_):
     """All processes are blocked and none can make progress."""
+
+
+class ClusterError(RuntimeError_):
+    """A sharded cluster run cannot complete (worker restarts exhausted)."""
 
 
 class VfsError(OSError, ReproError):

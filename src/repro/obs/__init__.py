@@ -25,7 +25,7 @@ from .events import (
     SupervisorEvent,
     TraceEvent,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsHub
+from .metrics import Counter, Gauge, Histogram, MetricsHub, merge_snapshots
 from .profiler import (
     BUCKET_ORDER,
     GuardProfiler,
@@ -50,6 +50,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsHub",
+    "merge_snapshots",
     "BUCKET_ORDER",
     "GuardProfiler",
     "ProfileReport",

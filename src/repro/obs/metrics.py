@@ -26,7 +26,7 @@ from .events import (
 )
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsHub",
-           "CALL_LATENCY_BUCKETS"]
+           "merge_snapshots", "CALL_LATENCY_BUCKETS"]
 
 #: Histogram bounds for runtime-call latency, in emulated cycles.  The
 #: interesting range spans the ~44-cycle direct-invoke yield (§5.3) up to
@@ -247,6 +247,24 @@ class MetricsHub:
                 lines.append(f"{prefix}.headroom.{name} "
                              f"{_fmt(metrics.headroom[name].value)}")
         return "\n".join(lines) + "\n"
+
+
+def merge_snapshots(parts) -> str:
+    """Merge labeled snapshot texts into one deterministic report.
+
+    ``parts`` is an ordered iterable of ``(label, snapshot_text)`` pairs
+    (the caller fixes the order — e.g. the cluster sorts by job id); every
+    line of each part is prefixed with its label.  Because the inputs are
+    deterministic text and the order is caller-controlled, the merged
+    report is byte-identical however the parts were produced — one worker
+    or many.
+    """
+    lines: List[str] = []
+    for label, text in parts:
+        for line in text.splitlines():
+            if line:
+                lines.append(f"{label}.{line}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def _fmt(value: float) -> str:

@@ -17,6 +17,7 @@ from .supervisor import (
     ON_FAILURE,
     RestartPolicy,
     Supervisor,
+    WorkerSupervisor,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "ON_FAILURE",
     "RestartPolicy",
     "Supervisor",
+    "WorkerSupervisor",
 ]

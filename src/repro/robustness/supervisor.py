@@ -27,13 +27,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..elf.format import ElfImage, read_elf
-from ..memory.pages import PERM_X
 from ..obs.events import SupervisorEvent
 from ..runtime.process import Process, ProcessState
 from ..errors import Deadlock, RuntimeError_
 from ..runtime.runtime import ResourceQuota, Runtime
 
-__all__ = ["RestartPolicy", "NEVER", "ON_FAILURE", "Incident", "Supervisor"]
+__all__ = ["RestartPolicy", "NEVER", "ON_FAILURE", "Incident", "Supervisor",
+           "WorkerSupervisor"]
 
 
 @dataclass(frozen=True)
@@ -294,10 +294,58 @@ class Supervisor:
 
     def _reclaim(self, proc: Process) -> None:
         """Unmap a dead sandbox's slot so long runs stay bounded."""
-        lo, hi = proc.layout.base, proc.layout.end
-        memory = self.runtime.memory
-        for base, size, perms in list(memory.mapped_regions()):
-            if base >= lo and base + size <= hi:
-                memory.unmap(base, size)
-                if perms & PERM_X:
-                    self.runtime.machine.invalidate_code(base, size)
+        self.runtime.reclaim(proc)
+
+
+class WorkerSupervisor:
+    """Restart decisions for cluster worker *OS processes* (DESIGN.md §11).
+
+    The sandbox :class:`Supervisor` restarts misbehaving sandboxes inside
+    one runtime; this class applies the same :class:`RestartPolicy` /
+    :class:`Incident` vocabulary one level up, to the worker processes of
+    a :class:`repro.cluster.Cluster`.  It only *decides* — the cluster
+    front-end owns process lifecycle and job re-dispatch — so the policy
+    logic stays testable without multiprocessing.
+    """
+
+    def __init__(self, policy: RestartPolicy = ON_FAILURE):
+        self.policy = policy
+        self.incidents: List[Incident] = []
+        self._restarts: Dict[int, int] = {}
+        self._seq = 0
+
+    def restarts(self, worker_id: int) -> int:
+        return self._restarts.get(worker_id, 0)
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(self._restarts.values())
+
+    def _incident(self, kind: str, worker_id: int, pid: int,
+                  detail: str) -> Incident:
+        incident = Incident(self._seq, self.restarts(worker_id), kind,
+                            f"worker-{worker_id}", pid, detail)
+        self._seq += 1
+        self.incidents.append(incident)
+        return incident
+
+    def worker_crashed(self, worker_id: int, pid: int, exitcode,
+                       in_flight: int) -> bool:
+        """Record a crash; True when the worker should be restarted."""
+        self._incident("worker-crash", worker_id, pid,
+                       f"exitcode={exitcode} with {in_flight} job(s) "
+                       f"in flight")
+        if self.policy.mode != "on-failure":
+            return False
+        if self.restarts(worker_id) >= self.policy.max_restarts:
+            self._incident(
+                "gave-up", worker_id, pid,
+                f"max restarts ({self.policy.max_restarts}) reached")
+            return False
+        self._restarts[worker_id] = self.restarts(worker_id) + 1
+        self._incident("worker-restart", worker_id, pid,
+                       f"restart #{self.restarts(worker_id)}")
+        return True
+
+    def incident_log(self) -> List[str]:
+        return [i.line() for i in self.incidents]

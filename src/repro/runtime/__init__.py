@@ -1,7 +1,7 @@
 """The LFI runtime: loader, runtime calls, VFS, scheduler, fork, yield."""
 
 from ..errors import Deadlock, LoadError, RuntimeError_, VfsError
-from .loader import DEFAULT_STACK_SIZE, load_image
+from .loader import DEFAULT_STACK_SIZE, clone_process, load_image
 from .process import Process, ProcessState, StdStream
 from .runtime import (
     CALL_OVERHEAD_CYCLES,
@@ -29,6 +29,7 @@ __all__ = [
     "DEFAULT_STACK_SIZE",
     "LoadError",
     "load_image",
+    "clone_process",
     "Process",
     "ProcessState",
     "StdStream",

@@ -19,7 +19,7 @@ from ..memory.pages import PERM_R, PERM_RW, PERM_RX, PagedMemory
 from .process import Process, ProcessState, StdStream
 from .table import build_table_page
 
-__all__ = ["load_image", "DEFAULT_STACK_SIZE"]
+__all__ = ["load_image", "clone_process", "DEFAULT_STACK_SIZE"]
 
 DEFAULT_STACK_SIZE = 1024 * 1024
 
@@ -116,4 +116,53 @@ def load_image(
     stdout = StdStream()
     stderr = StdStream()
     proc.fds = {0: stdin, 1: stdout, 2: stderr}
+    return proc
+
+
+def clone_process(
+    memory: PagedMemory,
+    template: Process,
+    layout: SandboxLayout,
+    pid: int,
+) -> Process:
+    """Snapshot-restore a *template* process into a fresh slot (warm spawn).
+
+    The template is a loaded-but-never-run sandbox; cloning COW-aliases its
+    pages into the new slot and rebuilds the loader's initial register
+    state at the new base.  Because binaries are linked at sandbox offsets
+    and every pointer is rebased by the guards, the clone is
+    indistinguishable from a cold :func:`load_image` of the same ELF —
+    minus the verification and page-population cost (the paper's "verify
+    once, map many" instantiation path).
+    """
+    src = template.layout
+    lo, hi = src.base, src.end
+    for base, size, _perms in list(memory.mapped_regions()):
+        if base >= hi or base + size <= lo:
+            continue
+        memory.share_region(base, layout.base + (base - lo), size)
+
+    def rebase(value: int) -> int:
+        return layout.base + (value - src.base)
+
+    registers = {
+        "regs": [0] * 31,
+        "sp": rebase(template.registers["sp"]),
+        "pc": rebase(template.registers["pc"]),
+        "nzcv": 0,
+        "vregs": [0] * 32,
+    }
+    registers["regs"][21] = layout.base
+
+    proc = Process(
+        pid=pid,
+        layout=layout,
+        registers=registers,
+        brk=rebase(template.brk),
+        heap_start=rebase(template.heap_start),
+        state=ProcessState.READY,
+        guard_map={rebase(addr): klass
+                   for addr, klass in template.guard_map.items()},
+    )
+    proc.fds = {0: StdStream(readable=True), 1: StdStream(), 2: StdStream()}
     return proc

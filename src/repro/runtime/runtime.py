@@ -39,14 +39,14 @@ from ..emulator.machine import (
     UnknownInstructionTrap,
 )
 from ..memory.layout import MAX_SANDBOXES_48BIT, PAGE_SIZE, SandboxLayout
-from ..memory.pages import PERM_RW, PagedMemory
+from ..memory.pages import PERM_RW, PERM_X, PagedMemory
 from ..obs.events import (
     ContextSwitch,
     FaultEvent,
     ProcessEvent,
     RuntimeCallSpan,
 )
-from .loader import DEFAULT_STACK_SIZE, load_image
+from .loader import DEFAULT_STACK_SIZE, clone_process, load_image
 from .process import Process, ProcessState, StdStream
 from .scheduler import Scheduler
 from .syscalls import BLOCK, EXITED, HANDLERS, SWITCH
@@ -178,6 +178,44 @@ class Runtime:
                                 detail="native" if not verify else ""))
         return proc
 
+    def load_template(self, image, verify: bool = True,
+                      policy: Optional[VerifierPolicy] = None) -> Process:
+        """Load an image into a slot as a *template*: mapped, never run.
+
+        The returned process is not scheduled and never appears in
+        :attr:`processes`; it exists only as a pristine snapshot for
+        :meth:`spawn_clone` to restore from (warm spawn).  Verification is
+        paid here, once, regardless of how many clones follow.
+        """
+        if isinstance(image, (bytes, bytearray)):
+            image = read_elf(bytes(image))
+        layout = self.allocate_slot()
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = load_image(self.memory, image, layout, pid, verify=verify,
+                          policy=policy, stack_size=self.stack_size)
+        self._emit(ProcessEvent(ts=self.machine.cycles, pid=pid,
+                                kind="spawn", detail="template"))
+        return proc
+
+    def spawn_clone(self, template: Process) -> Process:
+        """Warm-spawn: snapshot-restore ``template`` into a fresh sandbox.
+
+        Equivalent to :meth:`spawn` of the template's image — same initial
+        registers (at the new base), same memory contents (COW-aliased,
+        copied lazily on first write) — but skips ELF parsing, verification,
+        and page population entirely.
+        """
+        layout = self.allocate_slot()
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = clone_process(self.memory, template, layout, pid)
+        self.processes[pid] = proc
+        self.scheduler.add(proc)
+        self._emit(ProcessEvent(ts=self.machine.cycles, pid=pid,
+                                kind="spawn", detail="warm"))
+        return proc
+
     # -- resource quotas -----------------------------------------------------------
 
     def set_quota(self, proc: Process, quota: Optional[ResourceQuota]) -> None:
@@ -246,6 +284,28 @@ class Runtime:
 
     def reap(self, child: Process) -> None:
         self.processes.pop(child.pid, None)
+        self.scheduler.forget(child)
+
+    def reclaim(self, proc: Process) -> None:
+        """Unmap a dead sandbox's slot so long runs stay bounded.
+
+        Executable pages are swept out of the translation caches; the
+        slot's mmap cursor and quota records are dropped too.  The slot
+        number itself is not recycled (monotonic allocation keeps fork and
+        clone layouts deterministic).
+        """
+        self.reclaim_slot(proc.layout)
+        self._mmap_cursors.pop(proc.pid, None)
+        self.quotas.pop(proc.pid, None)
+
+    def reclaim_slot(self, layout: SandboxLayout) -> None:
+        """Unmap everything in ``layout``'s slot (see :meth:`reclaim`)."""
+        lo, hi = layout.base, layout.end
+        for base, size, perms in list(self.memory.mapped_regions()):
+            if base >= lo and base + size <= hi:
+                self.memory.unmap(base, size)
+                if perms & PERM_X:
+                    self.machine.invalidate_code(base, size)
 
     def fork(self, parent: Process,
              cow: bool = True) -> Optional[Process]:

@@ -1,15 +1,32 @@
-"""Round-robin preemptive scheduler (paper §5.3).
+"""Epoch-fair preemptive scheduler (paper §5.3).
 
 The real runtime uses ``setitimer`` alarm signals for preemption; the
 emulator equivalent is an instruction *fuel* slice — when a sandbox
 exhausts its slice the machine raises ``OutOfFuel`` and the scheduler picks
 the next runnable process.
+
+The run queue is a two-queue round-robin (an *active* queue for processes
+that have not had their turn this scheduling round, and an *expired* queue
+for processes that have).  This hardens the seed's plain FIFO against a
+starvation hole: a call-heavy sandbox used to be re-inserted at the front
+after every runtime call and could be picked an unbounded number of times
+between two picks of its neighbour.  Under the epoch discipline:
+
+* every ready process is picked at most once per round, so no ready
+  process waits more than ``len(queue)`` picks for its turn;
+* :meth:`add_front` (the direct-invoke yield fast path) still runs the
+  target *next* when its turn for the round is unspent — the ~50-cycle
+  IPC path is unchanged — but a process that already ran this round goes
+  to the back of the next round instead of cutting the line again.
+
+``tests/test_scheduler.py`` checks both properties under randomized
+interleavings (hypothesis, ``slow``-marked).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional, Set
 
 from .process import Process, ProcessState
 
@@ -17,36 +34,96 @@ __all__ = ["Scheduler"]
 
 
 class Scheduler:
-    """FIFO run queue with requeue-on-preempt semantics."""
+    """Two-queue epoch round-robin with requeue-on-preempt semantics."""
 
     def __init__(self, timeslice: int = 50_000):
         #: Instructions per scheduling quantum (the "timer interval").
         self.timeslice = timeslice
-        self._queue: Deque[Process] = deque()
+        self._active: Deque[Process] = deque()
+        self._expired: Deque[Process] = deque()
+        #: Monotonic round counter, bumped when the active queue drains.
+        self._epoch = 0
+        #: pid -> epoch of the most recent pick (the "turn spent" record).
+        self._picked: Dict[int, int] = {}
+        #: pids currently enqueued (each process appears at most once).
+        self._queued: Set[int] = set()
+
+    # -- introspection (used by the fairness property tests) ------------------
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def turn_spent(self, proc: Process) -> bool:
+        """Whether ``proc`` has already been picked this round."""
+        return self._picked.get(proc.pid) == self._epoch
+
+    # -- enqueueing -----------------------------------------------------------
 
     def add(self, proc: Process) -> None:
         proc.state = ProcessState.READY
-        self._queue.append(proc)
+        if proc.pid in self._queued:
+            return
+        self._queued.add(proc.pid)
+        if self.turn_spent(proc):
+            self._expired.append(proc)
+        else:
+            self._active.append(proc)
 
     def add_front(self, proc: Process) -> None:
-        """Schedule next (used by the direct-invoke yield fast path)."""
-        proc.state = ProcessState.READY
-        self._queue.appendleft(proc)
+        """Schedule next (used by the direct-invoke yield fast path).
 
-    def pick(self) -> Optional[Process]:
-        """Next runnable process, skipping stale entries."""
-        while self._queue:
-            proc = self._queue.popleft()
-            if proc.state == ProcessState.READY:
-                proc.state = ProcessState.RUNNING
-                return proc
-        return None
+        Honored immediately when ``proc`` has not yet run this round;
+        otherwise the process has spent its turn and joins the back of the
+        next round — front-of-queue privilege is bounded to once per round
+        so it can never starve the other ready processes.
+        """
+        proc.state = ProcessState.READY
+        if self.turn_spent(proc):
+            if proc.pid not in self._queued:
+                self._queued.add(proc.pid)
+                self._expired.append(proc)
+            return
+        if proc.pid in self._queued:
+            self._dequeue(proc)
+        self._queued.add(proc.pid)
+        self._active.appendleft(proc)
 
     def requeue(self, proc: Process) -> None:
         self.add(proc)
 
+    def _dequeue(self, proc: Process) -> None:
+        for queue in (self._active, self._expired):
+            try:
+                queue.remove(proc)
+                return
+            except ValueError:
+                continue
+
+    # -- picking --------------------------------------------------------------
+
+    def pick(self) -> Optional[Process]:
+        """Next runnable process, skipping stale entries."""
+        while True:
+            if not self._active:
+                if not self._expired:
+                    return None
+                self._active, self._expired = self._expired, self._active
+                self._epoch += 1
+            proc = self._active.popleft()
+            self._queued.discard(proc.pid)
+            if proc.state == ProcessState.READY:
+                proc.state = ProcessState.RUNNING
+                self._picked[proc.pid] = self._epoch
+                return proc
+
+    def forget(self, proc: Process) -> None:
+        """Drop a reaped process's bookkeeping (long-lived runtimes)."""
+        self._picked.pop(proc.pid, None)
+
     def __len__(self) -> int:
-        return sum(1 for p in self._queue if p.state == ProcessState.READY)
+        return sum(1 for p in self._active if p.state == ProcessState.READY) \
+            + sum(1 for p in self._expired if p.state == ProcessState.READY)
 
     @property
     def empty(self) -> bool:

@@ -9,7 +9,7 @@ from typing import List, Optional
 from ..arm64.decoder import decode_word
 from ..arm64.parser import parse_assembly
 from ..core.options import O0, O1, O2, O2_NO_LOADS, RewriteOptions
-from ..errors import RewriteError
+from ..errors import ReproError, RewriteError
 from ..core.verifier import VerifierPolicy, verify_elf
 from ..elf.format import read_elf, write_elf
 from ..emulator.costs import MACHINE_MODELS
@@ -251,6 +251,41 @@ def _cmd_profile(args) -> int:
     return code
 
 
+def _cmd_cluster(args) -> int:
+    from ..cluster import Cluster
+    from ..elf.format import write_elf
+    from ..toolchain import compile_lfi
+    from ..workloads.rtlib import busy_program
+
+    distinct = max(1, min(args.distinct, args.jobs))
+    images = [
+        write_elf(compile_lfi(busy_program(v, args.target),
+                              options=_options_from(args)).elf)
+        for v in range(distinct)
+    ]
+    with Cluster(workers=args.workers, warm_spawn=not args.cold) as cluster:
+        for i in range(args.jobs):
+            cluster.submit(images[i % distinct])
+        results = cluster.drain()
+        report = cluster.metrics_report()
+        fleet = cluster.fleet_report()
+    codes = [r.exit_code for r in results]
+    expected = [i % distinct for i in range(args.jobs)]
+    print(f"[{args.jobs} jobs on {args.workers} worker(s): "
+          f"warm {fleet['warm_hits']}/{fleet['warm_hits'] + fleet['warm_misses']}, "
+          f"restarts {fleet['restarts']}]", file=sys.stderr)
+    if args.out not in (None, "-"):
+        with open(args.out, "w") as handle:
+            handle.write(report)
+    else:
+        sys.stdout.write(report)
+    if codes != expected:
+        print(f"FAILED: exit codes {codes} != expected {expected}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_disasm(args) -> int:
     with open(args.input, "rb") as handle:
         image = read_elf(handle.read())
@@ -404,6 +439,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p)
     p.set_defaults(func=_cmd_profile)
 
+    p = sub.add_parser(
+        "cluster", parents=[OUT, SEED, OPT],
+        help="run a synthetic job batch on the sharded cluster runtime",
+    )
+    p.add_argument("--workers", type=int, default=2,
+                   help="number of OS worker processes")
+    p.add_argument("--jobs", type=int, default=8,
+                   help="jobs in the batch")
+    p.add_argument("--distinct", type=int, default=4,
+                   help="distinct images in the batch (warm-spawn reuse)")
+    p.add_argument("--target", type=int, default=20_000,
+                   help="target instructions per job")
+    p.add_argument("--cold", action="store_true",
+                   help="disable warm spawn (cold load+verify per job)")
+    p.set_defaults(func=_cmd_cluster)
+
     p = sub.add_parser("disasm", help="disassemble an ELF text segment")
     p.add_argument("input")
     p.set_defaults(func=_cmd_disasm)
@@ -412,5 +463,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Parse and run; tool failures become one-line diagnostics.
+
+    Anything the package itself raises (:class:`ReproError` — malformed
+    ELF, verification failure, cluster exhaustion, ...) or the OS raises
+    (unreadable input, unwritable ``-o`` target) exits 1 with a single
+    ``repro.tools: error:`` line instead of a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"repro.tools: error: {exc}", file=sys.stderr)
+        return 1

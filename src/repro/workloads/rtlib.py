@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ..runtime.table import RuntimeCall, table_offset
 
-__all__ = ["rtcall", "rt_exit", "prologue", "RuntimeCall"]
+__all__ = ["rtcall", "rt_exit", "prologue", "busy_program", "RuntimeCall"]
 
 
 def rtcall(call: int, save_reg: str = "x9") -> str:
@@ -41,3 +41,21 @@ def rt_exit(code_reg: str = "x0") -> str:
 
 def prologue(name: str = "_start") -> str:
     return f".text\n.globl {name}\n{name}:\n"
+
+
+def busy_program(value: int = 0, target_instructions: int = 10_000) -> str:
+    """A self-contained spin loop retiring ~``target_instructions`` and
+    exiting with ``value`` — the synthetic job body used by the cluster
+    CLI, ``benchmarks/bench_scaling.py``, and the throughput example."""
+    iters = max(1, target_instructions // 2)  # 2-instruction loop body
+    lo = iters & 0xFFFF
+    hi = (iters >> 16) & 0xFFFF
+    body = prologue()
+    body += f"\tmovz x1, #{lo}\n"
+    if hi:
+        body += f"\tmovk x1, #{hi}, lsl #16\n"
+    body += "spin:\n"
+    body += "\tsub x1, x1, #1\n"
+    body += "\tcbnz x1, spin\n"
+    body += f"\tmovz x0, #{value & 0xFFFF}\n"
+    return body + rt_exit()

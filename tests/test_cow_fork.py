@@ -163,6 +163,59 @@ class TestForkSuperblocks:
         assert child_blocks and parent_blocks
         assert not set(child_blocks) & set(parent_blocks)
 
+    def test_child_mmap_over_translated_text_keeps_parent_blocks(self):
+        """Regression: the child remaps a page the *parent's image* had
+        superblock-translated (the child's text is a COW alias of it).
+        Only the child's cached blocks on that page may die; the parent's
+        blocks — same code bytes, different absolute pcs — must survive
+        untouched, and vice versa below."""
+        from repro.memory import SandboxLayout
+
+        runtime, parent = self._run_forked("superblock")
+        sb = runtime.machine._sb
+        child_layout = SandboxLayout.for_slot(2)
+
+        def blocks_in(layout):
+            return {s for s in sb._blocks
+                    if layout.base <= s < layout.end}
+
+        child_blocks = blocks_in(child_layout)
+        parent_blocks = blocks_in(parent.layout)
+        assert child_blocks and parent_blocks
+        page = min(child_blocks) & ~(PAGE_SIZE - 1)
+        # mmap(MAP_FIXED)-over-text: replace the child's COW text page
+        # with a fresh anonymous mapping.
+        runtime.memory.unmap(page, PAGE_SIZE)
+        runtime.memory.map_region(page, PAGE_SIZE, PERM_RW)
+        for start in child_blocks:
+            if page <= start < page + PAGE_SIZE:
+                assert sb.block_at(start) is None
+        assert blocks_in(parent.layout) == parent_blocks
+
+    def test_parent_mmap_over_translated_text_keeps_child_blocks(self):
+        """The mirror image: remapping the parent's translated text must
+        not invalidate the child's cached blocks."""
+        from repro.memory import SandboxLayout
+
+        runtime, parent = self._run_forked("superblock")
+        sb = runtime.machine._sb
+        child_layout = SandboxLayout.for_slot(2)
+
+        def blocks_in(layout):
+            return {s for s in sb._blocks
+                    if layout.base <= s < layout.end}
+
+        child_blocks = blocks_in(child_layout)
+        parent_blocks = blocks_in(parent.layout)
+        assert child_blocks and parent_blocks
+        page = min(parent_blocks) & ~(PAGE_SIZE - 1)
+        runtime.memory.unmap(page, PAGE_SIZE)
+        runtime.memory.map_region(page, PAGE_SIZE, PERM_RW)
+        for start in parent_blocks:
+            if page <= start < page + PAGE_SIZE:
+                assert sb.block_at(start) is None
+        assert blocks_in(child_layout) == child_blocks
+
     def test_fork_then_diverge_forces_retranslation(self):
         """Patching one slot's (COW) text must retranslate only that
         slot's blocks; the other slot's stay cached."""

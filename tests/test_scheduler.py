@@ -93,6 +93,244 @@ class TestScheduler:
         assert len(sched) == 1
 
 
+class TestEpochFairness:
+    """The two-queue round discipline (no starvation via add_front)."""
+
+    def test_spent_turn_add_front_waits_for_next_round(self):
+        """A process that already ran this round cannot cut the line: its
+        add_front (the post-call re-add) lands behind the processes that
+        have not had their turn yet."""
+        sched = Scheduler()
+        a, b, c = make_proc(1), make_proc(2), make_proc(3)
+        for p in (a, b, c):
+            sched.add(p)
+        assert sched.pick() is a
+        sched.add_front(a)  # a's turn is spent: no line-cutting
+        assert sched.pick() is b
+        assert sched.pick() is c
+        assert sched.pick() is a  # next round
+
+    def test_unspent_turn_add_front_runs_next(self):
+        """The direct-invoke boost: a target that has not run this round
+        jumps to the very front (yield_to IPC fast path)."""
+        sched = Scheduler()
+        a, b, c = make_proc(1), make_proc(2), make_proc(3)
+        for p in (a, b, c):
+            sched.add(p)
+        assert sched.pick() is a
+        sched.requeue(a)
+        sched.add_front(c)  # c's turn is unspent: runs next
+        assert sched.pick() is c
+
+    def test_call_heavy_process_cannot_starve_neighbour(self):
+        """The seed's FIFO allowed: pick a, add_front(a), pick a, ... with
+        b never scheduled.  The epoch scheduler bounds a to one pick per
+        round."""
+        sched = Scheduler()
+        a, b = make_proc(1), make_proc(2)
+        sched.add(a)
+        sched.add(b)
+        picks = []
+        for _ in range(6):
+            p = sched.pick()
+            picks.append(p.pid)
+            sched.add_front(p)  # runtime's post-call fast-path re-add
+        assert picks == [1, 2, 1, 2, 1, 2]
+
+    def test_ping_pong_yield_to_alternates(self):
+        """yield_to: requeue(self) + add_front(target) alternates fairly."""
+        sched = Scheduler()
+        a, b = make_proc(1), make_proc(2)
+        sched.add(a)
+        sched.add(b)
+        order = []
+        current = sched.pick()
+        for _ in range(6):
+            order.append(current.pid)
+            target = b if current is a else a
+            sched.requeue(current)
+            sched.add_front(target)
+            current = sched.pick()
+        assert order == [1, 2, 1, 2, 1, 2]
+
+    def test_duplicate_add_keeps_single_entry(self):
+        sched = Scheduler()
+        a, b = make_proc(1), make_proc(2)
+        sched.add(a)
+        sched.add(b)
+        sched.add(a)  # no duplicate entry
+        assert sched.pick() is a
+        assert sched.pick() is b
+        assert sched.pick() is None
+
+    def test_turn_spent_and_epoch_introspection(self):
+        sched = Scheduler()
+        a, b = make_proc(1), make_proc(2)
+        sched.add(a)
+        sched.add(b)
+        assert not sched.turn_spent(a)
+        assert sched.pick() is a
+        assert sched.turn_spent(a)
+        epoch = sched.epoch
+        sched.requeue(a)
+        assert sched.pick() is b
+        assert sched.pick() is a  # round rolled over
+        assert sched.epoch == epoch + 1
+
+    def test_forget_clears_bookkeeping(self):
+        sched = Scheduler()
+        a = make_proc(1)
+        sched.add(a)
+        sched.pick()
+        sched.forget(a)
+        assert not sched.turn_spent(a)
+
+
+@pytest.mark.slow
+class TestFairnessProperty:
+    """Randomized fairness properties (hypothesis, excluded from tier-1).
+
+    Under random interleavings of ``add``/``add_front``/``requeue``/
+    ``pick`` (as the runtime issues them):
+
+    * **no starvation** — from the moment a process enters the queue,
+      every *other* process is picked at most once before it (at most
+      twice when a direct-invoke boost intervenes); a process whose round
+      turn is unspent waits at most ``len(queue)`` picks;
+    * **boost** — an ``add_front`` process with its round turn unspent is
+      picked next.
+    """
+
+    def _strategies(self):
+        from hypothesis import strategies as st
+
+        return st
+
+    def _run_trace(self, data):
+        from hypothesis import strategies as st
+
+        n = data.draw(st.integers(2, 6), label="procs")
+        procs = [make_proc(i + 1) for i in range(n)]
+        sched = Scheduler()
+        queued = set()
+        parked = list(procs)  # alive, not queued, not just-picked
+        last = None  # most recently picked (the runtime's "current")
+
+        # Per-waiting-proc trackers, reset when the proc is picked.
+        waits = {}  # proc -> {"others": {pid: count}, "boosted": bool,
+        #            "picks": int, "len_at_enqueue": int, "unspent": bool}
+
+        def start_wait(proc):
+            waits[proc.pid] = {
+                "others": {},
+                "boosted": False,
+                "picks": 0,
+                "len_at_enqueue": len(sched),
+                "unspent": not sched.turn_spent(proc),
+            }
+
+        def do_pick(expect=None):
+            picked = sched.pick()
+            if picked is None:
+                return None
+            if expect is not None:
+                assert picked is expect, (
+                    f"boosted unspent proc {expect.pid} must run next, "
+                    f"got {picked.pid}"
+                )
+            queued.discard(picked.pid)
+            wait = waits.pop(picked.pid)
+            cap = 2 if wait["boosted"] else 1
+            for pid, count in wait["others"].items():
+                assert count <= cap, (
+                    f"proc {pid} picked {count}x while {picked.pid} "
+                    f"waited (boosted={wait['boosted']})"
+                )
+            if wait["unspent"] and not wait["boosted"]:
+                assert wait["picks"] <= max(wait["len_at_enqueue"], 1), (
+                    f"proc {picked.pid} starved for {wait['picks']} picks "
+                    f"with len(queue)={wait['len_at_enqueue']} at enqueue"
+                )
+            for other in waits.values():
+                other["picks"] += 1
+                other["others"][picked.pid] = \
+                    other["others"].get(picked.pid, 0) + 1
+            return picked
+
+        steps = data.draw(st.integers(10, 120), label="steps")
+        for _ in range(steps):
+            choices = ["pick"]
+            if parked:
+                choices.append("add")
+                choices.append("add_front_parked")
+            if last is not None and last.pid not in queued:
+                choices.append("requeue_last")
+                choices.append("add_front_last")
+            if queued:
+                choices.append("boost_queued")
+            op = data.draw(st.sampled_from(sorted(choices)), label="op")
+
+            if op == "add":
+                proc = parked.pop(data.draw(
+                    st.integers(0, len(parked) - 1), label="which"))
+                sched.add(proc)
+                queued.add(proc.pid)
+                start_wait(proc)
+            elif op == "requeue_last":
+                sched.requeue(last)
+                queued.add(last.pid)
+                start_wait(last)
+                last = None
+            elif op in ("add_front_last", "add_front_parked",
+                        "boost_queued"):
+                if op == "add_front_last":
+                    proc = last
+                    last = None
+                elif op == "add_front_parked":
+                    proc = parked.pop(data.draw(
+                        st.integers(0, len(parked) - 1), label="which"))
+                else:
+                    pid = data.draw(st.sampled_from(sorted(queued)),
+                                    label="which")
+                    proc = procs[pid - 1]
+                unspent = not sched.turn_spent(proc)
+                sched.add_front(proc)
+                queued.add(proc.pid)
+                if proc.pid not in waits:
+                    start_wait(proc)
+                if unspent:
+                    # Boost honored: every other waiter saw a line-cut.
+                    for pid, other in waits.items():
+                        if pid != proc.pid:
+                            other["boosted"] = True
+                    picked = do_pick(expect=proc)
+                    if picked is not None:
+                        last = picked
+            else:  # pick
+                picked = do_pick()
+                if picked is not None:
+                    last = picked
+
+        # Drain: every still-queued process must be reachable within
+        # one pick per remaining ready process (no starvation at rest).
+        remaining = len(sched)
+        for _ in range(remaining):
+            if do_pick() is None:
+                break
+        assert sched.pick() is None
+
+    def test_fairness_under_random_interleavings(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(st.data())
+        @settings(max_examples=300, deadline=None)
+        def run(data):
+            self._run_trace(data)
+
+        run()
+
+
 class TestProcess:
     def test_next_fd_fills_gaps(self):
         proc = make_proc(1)

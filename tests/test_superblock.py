@@ -242,6 +242,41 @@ class TestInvalidation:
         assert sb.invalidations >= count0 + len(spanning)
         assert sb.cached_blocks <= before - len(spanning)
 
+    def test_invalidation_is_slot_local(self):
+        """Remapping one sandbox's translated text must not disturb a
+        sibling sandbox's cached blocks — block keys are absolute pcs, so
+        invalidation is naturally range-scoped to the touched slot."""
+        asm = build_benchmark("505.mcf", target_instructions=5_000)
+        elf = compile_lfi(asm, options=O2,
+                          bss_size=arena_bss_size("505.mcf")).elf
+        runtime = Runtime(engine="superblock")
+        first = runtime.spawn(elf)
+        second = runtime.spawn(elf)
+        runtime.run()
+        sb = runtime.machine._sb
+
+        def blocks_in(layout):
+            return {s for s in sb._blocks
+                    if layout.base <= s < layout.end}
+
+        first_blocks = blocks_in(first.layout)
+        second_blocks = blocks_in(second.layout)
+        assert first_blocks and second_blocks
+        page = runtime.memory.page_size
+        target = min(first_blocks) & ~(page - 1)
+        from repro.memory import PERM_RW
+
+        # mmap-over-text in the first slot only.
+        runtime.memory.unmap(target, page)
+        runtime.memory.map_region(target, page, PERM_RW)
+        assert all(sb.block_at(s) is None for s in first_blocks
+                   if target <= s < target + page)
+        # Blocks outside the touched page survive in the same slot...
+        assert all(sb.block_at(s) is not None for s in first_blocks
+                   if not target <= s < target + page)
+        # ...and the sibling slot is completely untouched.
+        assert blocks_in(second.layout) == second_blocks
+
     def test_permission_downgrade_invalidates(self):
         runtime, proc = self._runtime_with_cached_proc()
         runtime.run()

@@ -124,6 +124,81 @@ class TestModuleEntry:
         assert result.returncode == 7
 
 
+class TestErrorPaths:
+    """Tool failures are one-line diagnostics, never tracebacks."""
+
+    def _run(self, argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.tools", *argv],
+            capture_output=True, text=True,
+        )
+
+    def test_malformed_elf_one_line_diagnostic(self, tmp_path):
+        bogus = tmp_path / "bogus.elf"
+        bogus.write_bytes(b"\x7fELF garbage that is not a real image")
+        result = self._run(["run", str(bogus)])
+        assert result.returncode == 1
+        assert "repro.tools: error:" in result.stderr
+        assert "Traceback" not in result.stderr
+        assert len(result.stderr.strip().splitlines()) == 1
+
+    def test_truncated_elf_via_verify(self, tmp_path):
+        bogus = tmp_path / "short.elf"
+        bogus.write_bytes(b"\x7fEL")
+        result = self._run(["verify", str(bogus)])
+        assert result.returncode == 1
+        assert "repro.tools: error:" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_missing_input_file(self):
+        result = self._run(["disasm", "/nonexistent/input.elf"])
+        assert result.returncode == 1
+        assert "repro.tools: error:" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_unwritable_output_target(self, tmp_path):
+        src = tmp_path / "p.s"
+        src.write_text(HELLO)
+        result = self._run([
+            "compile", str(src), "-o",
+            str(tmp_path / "no" / "such" / "dir" / "out.elf"),
+        ])
+        assert result.returncode == 1
+        assert "repro.tools: error:" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_bad_opt_level_rejected_without_traceback(self, tmp_path):
+        src = tmp_path / "p.s"
+        src.write_text(HELLO)
+        result = self._run(["rewrite", str(src), "-O", "O9"])
+        assert result.returncode != 0
+        assert "invalid choice" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_in_process_main_returns_one(self, tmp_path, capsys):
+        bogus = tmp_path / "b.elf"
+        bogus.write_bytes(b"not an elf at all")
+        assert main(["run", str(bogus)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro.tools: error:")
+
+
+class TestClusterCommand:
+    def test_cluster_batch(self, tmp_path):
+        report = tmp_path / "report.txt"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools", "cluster",
+             "--workers", "2", "--jobs", "4", "--distinct", "2",
+             "--target", "2000", "-o", str(report)],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        text = report.read_text()
+        assert text.startswith("cluster.jobs 4\n")
+        assert "job[3].sandbox[0].instructions" in text
+        assert "warm" in result.stderr
+
+
 class TestSharedFlags:
     """rewrite/fuzz/trace/profile share one spelling of the common flags."""
 
