@@ -1,0 +1,219 @@
+"""Checkpoint/restore cost model (DESIGN.md §12).
+
+Crash recovery is only worth its keep if restoring from a checkpoint is
+substantially cheaper than re-running the lost prefix, and periodic
+checkpointing is only affordable if an incremental capture costs
+O(dirty pages) rather than O(working set).  Both claims are gated here
+on a Table-4 kernel:
+
+* **restore vs. re-run** — restoring a job checkpointed halfway through
+  a kernel must beat cold spawn + re-execution to the same point by at
+  least 3x wall clock (the gap widens with the prefix length; halfway is
+  the conservative midpoint);
+* **incremental capture** — after the first full capture, a capture
+  taken with only a handful of dirtied pages must copy only those pages
+  and run measurably cheaper than the full capture.
+
+The pytest half asserts the same two shapes at test-sized targets; the
+CLI half (``python benchmarks/bench_checkpoint.py``) produces the gated
+JSON artifact (``BENCH_PR6.json``).
+"""
+
+import time
+
+import pytest
+
+from repro.checkpoint import CheckpointSession, capture_job, restore_job
+from repro.obs import MetricsHub, Tracer
+from repro.runtime import Runtime
+from repro.toolchain import compile_lfi
+from repro.workloads.spec import arena_bss_size, build_benchmark
+
+KERNEL = "505.mcf"  # pointer-chasing Table-4 kernel with a real working set
+
+
+def _compile_kernel(target):
+    out = compile_lfi(build_benchmark(KERNEL, target),
+                      bss_size=arena_bss_size(KERNEL))
+    return out.elf
+
+
+def _observed_runtime(timeslice):
+    runtime = Runtime(model=None, timeslice=timeslice)
+    tracer = Tracer(record=False)
+    tracer.attach(runtime)
+    hub = MetricsHub()
+    hub.attach(tracer, runtime)
+    return runtime, hub
+
+
+def _run_to(elf, point, timeslice):
+    """Cold path: fresh runtime, spawn, execute ``point`` instructions."""
+    runtime, hub = _observed_runtime(timeslice)
+    t0 = time.perf_counter()
+    proc = runtime.spawn(elf)
+    finished = runtime.run_bounded(proc, point)
+    return runtime, proc, hub, finished, time.perf_counter() - t0
+
+
+def _restore_from(blob_ckpt, timeslice):
+    """Warm path: fresh runtime, restore the checkpoint, ready to run."""
+    runtime, hub = _observed_runtime(timeslice)
+    t0 = time.perf_counter()
+    proc = restore_job(runtime, blob_ckpt, hub)
+    return runtime, proc, hub, time.perf_counter() - t0
+
+
+def _point(target, timeslice, repeats):
+    """One benchmark point: checkpoint halfway, race restore vs. re-run."""
+    elf = _compile_kernel(target)
+
+    runtime, proc, hub, finished, _ = _run_to(elf, target // 2, timeslice)
+    assert not finished, "halfway point must pause, not finish"
+    session = CheckpointSession(runtime, proc, hub)
+    t0 = time.perf_counter()
+    full = session.capture(consumed_instructions=proc.instructions,
+                           consumed_cycles=runtime.machine.cycles)
+    full_capture_s = time.perf_counter() - t0
+
+    # Dirty a small suffix of the working set and capture incrementally.
+    runtime.run_bounded(proc, timeslice)
+    t0 = time.perf_counter()
+    incr = session.capture(consumed_instructions=proc.instructions,
+                           consumed_cycles=runtime.machine.cycles)
+    incr_capture_s = time.perf_counter() - t0
+
+    cold_s = min(_run_to(elf, target // 2, timeslice)[4]
+                 for _ in range(repeats))
+    restore_s = min(_restore_from(full, timeslice)[3]
+                    for _ in range(repeats))
+
+    # The restored runtime must actually be the same program state:
+    # finish both and compare results.
+    r_rt, r_proc, _, _ = _restore_from(full, timeslice)
+    r_rt.run()
+    runtime2, proc2, _, _, _ = _run_to(elf, target * 4, timeslice)
+    assert (r_proc.exit_code, r_rt.stdout_of(r_proc)) == \
+        (proc2.exit_code, runtime2.stdout_of(proc2))
+
+    return {
+        "kernel": KERNEL,
+        "target_instructions": target,
+        "checkpoint_instructions": target // 2,
+        "pages": full.total_pages,
+        "bytes": len(full.to_bytes()),
+        "cold_rerun_s": round(cold_s, 6),
+        "restore_s": round(restore_s, 6),
+        "restore_speedup": round(cold_s / restore_s, 2),
+        "full_capture_s": round(full_capture_s, 6),
+        "incr_capture_s": round(incr_capture_s, 6),
+        "full_dirty_pages": full.dirty_pages,
+        "incr_dirty_pages": incr.dirty_pages,
+        "incr_capture_speedup": round(full_capture_s / incr_capture_s, 2),
+    }
+
+
+# -- pytest gates ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def halfway():
+    target = 40_000
+    elf = _compile_kernel(target)
+    runtime, proc, hub, finished, cold_s = _run_to(elf, target // 2, 1_000)
+    assert not finished
+    return elf, runtime, proc, hub, cold_s
+
+
+def test_restore_beats_rerun(halfway):
+    """Restoring a halfway checkpoint is >=3x cheaper than re-running."""
+    elf, runtime, proc, hub, _ = halfway
+    ckpt = capture_job(runtime, proc, hub,
+                       consumed_instructions=proc.instructions)
+    cold_s = min(_run_to(elf, 20_000, 1_000)[4] for _ in range(3))
+    restore_s = min(_restore_from(ckpt, 1_000)[3] for _ in range(3))
+    assert cold_s / restore_s >= 3.0
+
+
+def test_incremental_capture_tracks_dirty_pages(halfway):
+    """The second capture copies only pages the guest wrote in between."""
+    elf, runtime, proc, hub, _ = halfway
+    session = CheckpointSession(runtime, proc, hub)
+    full = session.capture(consumed_instructions=proc.instructions)
+    runtime.run_bounded(proc, 1_000)
+    incr = session.capture(consumed_instructions=proc.instructions)
+    assert full.dirty_pages == full.total_pages  # first capture: all pages
+    assert 0 < incr.dirty_pages < incr.total_pages
+    # Clean pages are shared by identity, not recopied.
+    shared = sum(1 for key in full.pages
+                 if incr.pages.get(key) is full.pages[key])
+    assert shared == incr.total_pages - incr.dirty_pages
+
+
+def test_capture_benchmark(benchmark, halfway):
+    """pytest-benchmark: one incremental capture of a paused kernel."""
+    _, runtime, proc, hub, _ = halfway
+    session = CheckpointSession(runtime, proc, hub)
+    session.capture(consumed_instructions=proc.instructions)
+    ckpt = benchmark(session.capture,
+                     consumed_instructions=proc.instructions)
+    assert ckpt.total_pages > 0
+
+
+# -- gated CLI -------------------------------------------------------------
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="Checkpoint/restore cost benchmark (wall-clock gated)")
+    parser.add_argument("--target", type=int, default=60_000,
+                        help="dynamic instructions for the kernel run")
+    parser.add_argument("--timeslice", type=int, default=1_000)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repeats (min is reported)")
+    parser.add_argument("--min-restore-speedup", type=float, default=3.0,
+                        help="min restore-vs-rerun speedup at halfway")
+    parser.add_argument("--out", default=None, help="write JSON here")
+    args = parser.parse_args(argv)
+
+    point = _point(args.target, args.timeslice, args.repeats)
+    print(f"kernel={point['kernel']}  "
+          f"checkpoint@{point['checkpoint_instructions']:,} insts  "
+          f"{point['pages']} pages  {point['bytes']:,} bytes")
+    print(f"cold re-run:  {point['cold_rerun_s'] * 1e3:8.2f} ms")
+    print(f"restore:      {point['restore_s'] * 1e3:8.2f} ms  "
+          f"({point['restore_speedup']:.1f}x)")
+    print(f"full capture: {point['full_capture_s'] * 1e3:8.2f} ms  "
+          f"({point['full_dirty_pages']} dirty pages)")
+    print(f"incr capture: {point['incr_capture_s'] * 1e3:8.2f} ms  "
+          f"({point['incr_dirty_pages']} dirty pages, "
+          f"{point['incr_capture_speedup']:.1f}x cheaper)")
+
+    report = {"bench": "checkpoint-restore", "point": point}
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+
+    ok = True
+    if point["restore_speedup"] < args.min_restore_speedup:
+        print(f"FAIL: restore speedup {point['restore_speedup']:.2f}x "
+              f"< {args.min_restore_speedup}x", file=sys.stderr)
+        ok = False
+    if point["incr_dirty_pages"] >= point["full_dirty_pages"]:
+        print("FAIL: incremental capture did not shrink the dirty set",
+              file=sys.stderr)
+        ok = False
+    if point["incr_capture_s"] >= point["full_capture_s"]:
+        print("FAIL: incremental capture not cheaper than full capture",
+              file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

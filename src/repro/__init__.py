@@ -30,6 +30,12 @@ from .core import (
     verify_elf,
     verify_text,
 )
+from .checkpoint import (
+    Checkpoint,
+    CheckpointSession,
+    capture_job,
+    restore_job,
+)
 from .runtime import Runtime, RuntimeCall
 from .toolchain import CompileOutput, compile_lfi, compile_native
 
@@ -51,6 +57,10 @@ __all__ = [
     "verify_text",
     "Runtime",
     "RuntimeCall",
+    "Checkpoint",
+    "CheckpointSession",
+    "capture_job",
+    "restore_job",
     "CompileOutput",
     "compile_lfi",
     "compile_native",

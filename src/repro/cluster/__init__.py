@@ -12,23 +12,31 @@ sandboxes across N OS worker processes (DESIGN.md §11):
 * :class:`ImageCache` / :class:`WarmPool` — verify an image once, then
   warm-spawn clones by COW snapshot restore instead of cold load+verify;
 * crashed workers are restarted by a
-  :class:`~repro.robustness.WorkerSupervisor` and their in-flight jobs
-  re-dispatched, so a mid-batch worker death loses no jobs.
+  :class:`~repro.robustness.WorkerSupervisor` (bounded-jitter exponential
+  backoff) and their in-flight jobs re-dispatched from their latest
+  checkpoint, so a mid-batch worker death redoes at most one checkpoint
+  interval of work and loses no jobs;
+* :meth:`Cluster.migrate` live-migrates a running job between workers at
+  a checkpoint boundary, and :meth:`Cluster.resize` grows or drains the
+  pool elastically — results stay byte-identical throughout
+  (DESIGN.md §12).
 """
 
 from ..errors import ClusterError
-from .cluster import Cluster
+from .cluster import Cluster, DEFAULT_CHECKPOINT_INTERVAL
 from .jobs import Job, JobResult, normalize_metrics
 from .snapshot import ImageCache, WarmPool
-from .worker import execute_job
+from .worker import derive_worker_seed, execute_job
 
 __all__ = [
     "Cluster",
     "ClusterError",
+    "DEFAULT_CHECKPOINT_INTERVAL",
     "Job",
     "JobResult",
     "ImageCache",
     "WarmPool",
+    "derive_worker_seed",
     "execute_job",
     "normalize_metrics",
 ]

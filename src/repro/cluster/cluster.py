@@ -11,45 +11,67 @@ runtime.  Three rules make it safe and deterministic:
   result's deterministic fields (exit code, stdout/stderr, fault kinds,
   pid-normalized metrics) are placement-independent, so 1-worker and
   N-worker runs of the same batch are byte-identical;
-* **fault tolerance** — the front-end retains every job payload until its
-  result arrives.  A dead worker is reported to a
-  :class:`~repro.robustness.WorkerSupervisor`; under an on-failure policy
-  it is relaunched (fresh queue, next generation) and its in-flight jobs
-  are re-dispatched through normal routing.  Duplicate results (a worker
-  that died *after* reporting) are deduplicated by job id — executions
-  are deterministic, so duplicates are identical.
+* **fault tolerance** — the front-end retains every job payload *and its
+  latest checkpoint* until the result arrives.  A dead worker is
+  reported to a :class:`~repro.robustness.WorkerSupervisor`; under an
+  on-failure policy it is relaunched after a bounded-jitter exponential
+  backoff and its in-flight jobs re-dispatched — resuming from their
+  last checkpoint, so at most one checkpoint interval of work is redone.
+  Duplicate results (a worker that died *after* reporting) are
+  deduplicated by job id — executions are deterministic, so duplicates
+  are identical.
+
+On top of checkpoint retention sit live migration (:meth:`migrate` asks
+a worker to yield a running job at its next checkpoint boundary and
+re-dispatches it elsewhere) and elastic rebalancing (:meth:`resize`
+grows the pool, or drains victims by yield-and-bounce).  Both preserve
+the byte-identity contract (DESIGN.md §12).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import queue as _queue
+import time
 from typing import Dict, List, Optional, Set
 
 from ..errors import ClusterError
-from ..obs.metrics import merge_snapshots
+from ..obs.metrics import MetricsHub, merge_snapshots
 from ..robustness.supervisor import ON_FAILURE, RestartPolicy, WorkerSupervisor
 from .jobs import Job, JobResult
 from .worker import DEFAULT_JOB_BUDGET, worker_main
 
-__all__ = ["Cluster"]
+__all__ = ["Cluster", "DEFAULT_CHECKPOINT_INTERVAL"]
+
+#: Instructions between periodic job checkpoints.  Also the bound on work
+#: redone after a worker crash.  Deliberately larger than typical smoke
+#: jobs: short jobs never pause, so chunking is free for them.
+DEFAULT_CHECKPOINT_INTERVAL = 250_000
+
+#: Restore latency histogram bounds, in wall-clock seconds.
+RESTORE_LATENCY_BUCKETS = (0.0005, 0.002, 0.01, 0.05, 0.25, 1.0)
 
 
 class _WorkerHandle:
     """Front-end bookkeeping for one worker process (one per shard)."""
 
     __slots__ = ("worker_id", "generation", "process", "job_queue",
-                 "outstanding", "completed", "dead")
+                 "ctrl_queue", "outstanding", "completed", "dead",
+                 "draining")
 
-    def __init__(self, worker_id: int, generation: int, process, job_queue):
+    def __init__(self, worker_id: int, generation: int, process, job_queue,
+                 ctrl_queue):
         self.worker_id = worker_id
         self.generation = generation
         self.process = process
         self.job_queue = job_queue
+        self.ctrl_queue = ctrl_queue
         self.outstanding: Set[int] = set()
         self.completed = 0
         #: Crashed and not restarted; excluded from routing and rechecks.
         self.dead = False
+        #: Being drained for scale-down; accepts no new jobs.
+        self.draining = False
 
 
 class Cluster:
@@ -62,6 +84,10 @@ class Cluster:
                  budget: int = DEFAULT_JOB_BUDGET,
                  restart_policy: RestartPolicy = ON_FAILURE,
                  chaos: Optional[Dict[int, int]] = None,
+                 chaos_faults: Optional[Dict[int, int]] = None,
+                 checkpoint_interval: Optional[int]
+                 = DEFAULT_CHECKPOINT_INTERVAL,
+                 seed: int = 0,
                  poll_interval: float = 0.05):
         if workers < 1:
             raise ValueError("a cluster needs at least one worker")
@@ -71,13 +97,24 @@ class Cluster:
             "warm_spawn": warm_spawn,
             "budget": budget,
             "chaos": dict(chaos) if chaos else {},
+            "chaos_faults": dict(chaos_faults) if chaos_faults else {},
+            "checkpoint_interval": checkpoint_interval,
+            "seed": seed,
         }
         self._ctx = multiprocessing.get_context("fork")
         self._result_queue = self._ctx.Queue()
         self._poll_interval = poll_interval
-        self.supervisor = WorkerSupervisor(restart_policy)
+        self.supervisor = WorkerSupervisor(restart_policy, seed=seed)
         self._jobs: Dict[int, Job] = {}
         self._results: Dict[int, JobResult] = {}
+        #: job id -> latest checkpoint bytes (cleared when the result lands).
+        self._checkpoints: Dict[int, bytes] = {}
+        #: job id -> requested migration target worker id.
+        self._migrations: Dict[int, int] = {}
+        #: Deferred relaunches: [{handle, worker_id, generation, due, jobs}].
+        self._pending_restarts: List[dict] = []
+        #: Host-level ops metrics (restarts, checkpoints, restore latency).
+        self.ops = MetricsHub()
         self._next_job_id = 0
         self._closed = False
         self._workers: List[_WorkerHandle] = [
@@ -89,15 +126,17 @@ class Cluster:
 
     def _launch(self, worker_id: int, generation: int) -> _WorkerHandle:
         job_queue = self._ctx.Queue()
+        ctrl_queue = self._ctx.Queue()
         process = self._ctx.Process(
             target=worker_main,
             args=(worker_id, generation, self._config, job_queue,
-                  self._result_queue),
+                  self._result_queue, ctrl_queue),
             daemon=True,
             name=f"repro-cluster-w{worker_id}g{generation}",
         )
         process.start()
-        return _WorkerHandle(worker_id, generation, process, job_queue)
+        return _WorkerHandle(worker_id, generation, process, job_queue,
+                             ctrl_queue)
 
     def close(self) -> None:
         """Shut every worker down (idempotent)."""
@@ -136,14 +175,80 @@ class Cluster:
         self._dispatch(job)
         return job.job_id
 
-    def _dispatch(self, job: Job) -> None:
-        alive = [h for h in self._workers if not h.dead]
-        if not alive:
-            raise ClusterError("no live workers left to dispatch to")
-        handle = min(alive,
-                     key=lambda h: (len(h.outstanding), h.worker_id))
-        handle.outstanding.add(job.job_id)
-        handle.job_queue.put(job.payload())
+    def _routable(self) -> List[_WorkerHandle]:
+        return [h for h in self._workers
+                if not h.dead and not h.draining]
+
+    def _dispatch(self, job: Job,
+                  target: Optional[_WorkerHandle] = None) -> None:
+        if target is None:
+            candidates = self._routable()
+            if not candidates:
+                if self._pending_restarts:
+                    # Every worker is between generations; park the job
+                    # until a relaunch comes due.
+                    self._pending_restarts[0]["jobs"].append(job.job_id)
+                    return
+                raise ClusterError("no live workers left to dispatch to")
+            target = min(candidates,
+                         key=lambda h: (len(h.outstanding), h.worker_id))
+        target.outstanding.add(job.job_id)
+        target.job_queue.put(
+            job.payload(resume=self._checkpoints.get(job.job_id)))
+
+    # -- live migration / elastic resize -------------------------------------
+
+    def migrate(self, job_id: int, worker_id: int) -> None:
+        """Move a running job to ``worker_id`` at its next checkpoint.
+
+        Asynchronous: the current owner is asked to yield the job — it
+        stops at the next checkpoint-interval boundary and hands back a
+        fresh checkpoint, which :meth:`drain` re-dispatches to the
+        requested target.  A job that finishes before reaching a boundary
+        simply completes where it is (the migration dissolves).  The
+        result is byte-identical either way (DESIGN.md §12).
+        """
+        if job_id in self._results or job_id not in self._jobs:
+            raise ClusterError(f"job {job_id} is not in flight")
+        target = next((h for h in self._routable()
+                       if h.worker_id == worker_id), None)
+        if target is None:
+            raise ClusterError(f"worker-{worker_id} is not accepting jobs")
+        owner = next((h for h in self._workers
+                      if job_id in h.outstanding), None)
+        if owner is None:
+            raise ClusterError(f"job {job_id} is not assigned to any worker")
+        if owner is target:
+            return
+        self._migrations[job_id] = worker_id
+        owner.ctrl_queue.put({"op": "yield", "job_id": job_id})
+
+    def resize(self, workers: int) -> None:
+        """Scale the worker pool to ``workers`` (elastic rebalancing).
+
+        Growing launches fresh workers (new ids above the highest ever
+        used).  Shrinking drains the highest-id workers: each yields its
+        running job at the next checkpoint boundary, bounces its queued
+        jobs back unexecuted, and exits; :meth:`drain` re-dispatches all
+        of it to the survivors, resuming from checkpoints.  Results stay
+        byte-identical across any resize schedule.
+        """
+        if workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        if self._closed:
+            raise ClusterError("cluster is closed")
+        active = self._routable()
+        if workers > len(active):
+            next_id = 1 + max(h.worker_id for h in self._workers)
+            for offset in range(workers - len(active)):
+                self._workers.append(self._launch(next_id + offset,
+                                                  generation=0))
+        elif workers < len(active):
+            victims = sorted(active, key=lambda h: -h.worker_id)
+            for handle in victims[:len(active) - workers]:
+                handle.draining = True
+                handle.ctrl_queue.put({"op": "yield_all"})
+                handle.job_queue.put(None)
 
     # -- collection ----------------------------------------------------------
 
@@ -151,32 +256,76 @@ class Cluster:
         """Block until every submitted job has a result; ordered by id.
 
         Survives worker crashes: dead workers are restarted per the
-        supervisor's policy and their in-flight jobs re-dispatched.  Raises
-        :class:`ClusterError` once a crashed worker's restart budget is
-        exhausted with jobs still assigned to it.
+        supervisor's policy (after its backoff) and their in-flight jobs
+        re-dispatched, resuming from their last checkpoint.  Handles the
+        checkpoint/yield/bounce traffic that crash recovery, migration,
+        and resize generate.  Raises :class:`ClusterError` once a crashed
+        worker's restart budget is exhausted with jobs still assigned.
         """
         pending = set(self._jobs) - set(self._results)
         while pending:
+            self._check_workers()
+            self._launch_due_restarts()
+            self._reap_drained()
             try:
                 payload = self._result_queue.get(
                     timeout=self._poll_interval)
             except _queue.Empty:
-                self._check_workers()
                 continue
+            kind = payload.get("kind", "result")
             job_id = payload["job_id"]
             if job_id in self._results:
                 continue  # duplicate after a crash re-dispatch
-            for handle in self._workers:
-                if job_id in handle.outstanding:
-                    handle.outstanding.discard(job_id)
-                    handle.completed += 1
-            self._results[job_id] = JobResult.from_payload(payload)
+            if kind == "checkpoint":
+                self._checkpoints[job_id] = payload["checkpoint"]
+                self.ops.host_counter("job.checkpoints").inc()
+                continue
+            if kind == "yield":
+                self._checkpoints[job_id] = payload["checkpoint"]
+                self.ops.host_counter("job.checkpoints").inc()
+                self.ops.host_counter("job.yields").inc()
+                self._forget_assignment(job_id)
+                self._redispatch_to_target(job_id)
+                continue
+            if kind == "bounce":
+                self._forget_assignment(job_id)
+                self._dispatch(self._jobs[job_id])
+                continue
+            self._forget_assignment(job_id, completed=True)
+            self._migrations.pop(job_id, None)
+            self._checkpoints.pop(job_id, None)
+            result = JobResult.from_payload(payload)
+            restore_s = result.diag.get("restore_s")
+            if restore_s is not None:
+                self.ops.host_counter("job.restores").inc()
+                self.ops.host_histogram(
+                    "job.restore_latency_s",
+                    RESTORE_LATENCY_BUCKETS).observe(restore_s)
+            self._results[job_id] = result
             pending.discard(job_id)
         return [self._results[job_id] for job_id in sorted(self._results)]
 
+    def _forget_assignment(self, job_id: int,
+                           completed: bool = False) -> None:
+        for handle in self._workers:
+            if job_id in handle.outstanding:
+                handle.outstanding.discard(job_id)
+                if completed:
+                    handle.completed += 1
+
+    def _redispatch_to_target(self, job_id: int) -> None:
+        target_id = self._migrations.pop(job_id, None)
+        target = None
+        if target_id is not None:
+            target = next((h for h in self._routable()
+                           if h.worker_id == target_id), None)
+            if target is not None:
+                self.ops.host_counter("job.migrations").inc()
+        self._dispatch(self._jobs[job_id], target=target)
+
     def _check_workers(self) -> None:
-        for index, handle in enumerate(self._workers):
-            if handle.dead or handle.process.is_alive():
+        for handle in self._workers:
+            if handle.dead or handle.draining or handle.process.is_alive():
                 continue
             in_flight = sorted(handle.outstanding)
             restart = self.supervisor.worker_crashed(
@@ -191,27 +340,74 @@ class Cluster:
                         f"{len(in_flight)} job(s) in flight and no "
                         f"restarts left")
                 continue
-            replacement = self._launch(handle.worker_id,
-                                       handle.generation + 1)
-            replacement.completed = handle.completed
+            handle.dead = True
+            handle.outstanding.clear()
+            self._pending_restarts.append({
+                "handle": handle,
+                "worker_id": handle.worker_id,
+                "generation": handle.generation + 1,
+                "due": time.monotonic()
+                + self.supervisor.next_backoff(handle.worker_id),
+                "jobs": in_flight,
+                "completed": handle.completed,
+            })
+
+    def _launch_due_restarts(self) -> None:
+        now = time.monotonic()
+        for entry in [e for e in self._pending_restarts
+                      if e["due"] <= now]:
+            self._pending_restarts.remove(entry)
+            replacement = self._launch(entry["worker_id"],
+                                       entry["generation"])
+            replacement.completed = entry["completed"]
+            index = self._workers.index(entry["handle"])
             self._workers[index] = replacement
+            self.ops.host_counter("worker.restarts").inc()
             # Re-dispatch everything the dead worker still owed, through
-            # normal routing (any worker may pick the job up).
-            for job_id in in_flight:
-                self._dispatch(self._jobs[job_id])
+            # normal routing (any worker may pick the job up); each job
+            # resumes from its latest retained checkpoint, so at most one
+            # checkpoint interval of its execution is repeated.
+            for job_id in entry["jobs"]:
+                if job_id not in self._results:
+                    self._dispatch(self._jobs[job_id])
+
+    def _reap_drained(self) -> None:
+        for handle in [h for h in self._workers if h.draining]:
+            if handle.process.is_alive():
+                continue
+            if handle.outstanding:
+                # Drained worker died before yielding everything (e.g.
+                # chaos); its jobs resume from checkpoints elsewhere.
+                for job_id in sorted(handle.outstanding):
+                    if job_id not in self._results:
+                        self._dispatch(self._jobs[job_id])
+                handle.outstanding.clear()
+            self._workers.remove(handle)
 
     # -- reporting -----------------------------------------------------------
 
     def metrics_report(self) -> str:
         """One merged, deterministic metrics report for the whole batch.
 
-        Byte-identical for the same batch regardless of worker count:
-        per-job snapshots are already placement-independent, and they are
-        merged in submission order under ``job[<id>]`` prefixes.
+        Byte-identical for the same batch regardless of worker count,
+        crashes, migrations, or resizes: per-job snapshots are already
+        placement-independent, and they are merged in submission order
+        under ``job[<id>]`` prefixes.
         """
         parts = [(f"job[{job_id}]", self._results[job_id].metrics)
                  for job_id in sorted(self._results)]
         return f"cluster.jobs {len(parts)}\n" + merge_snapshots(parts)
+
+    def ops_report(self) -> str:
+        """Host-level operations metrics (worker-count dependent).
+
+        Restart/checkpoint/restore counters plus the restore-latency
+        histogram, exported through the same deterministic text format as
+        sandbox metrics — but, unlike :meth:`metrics_report`, these
+        describe *this run's* placement history, so they are diagnostics,
+        not part of the determinism contract.
+        """
+        return merge_snapshots([("ops", self.ops.snapshot())])
 
     def fleet_report(self) -> dict:
         """Placement and health diagnostics (worker-count dependent)."""
@@ -227,5 +423,8 @@ class Cluster:
             "warm_hits": warm_hits,
             "warm_misses": len(self._results) - warm_hits,
             "restarts": self.supervisor.total_restarts,
+            "checkpoints": self.ops.host_counter("job.checkpoints").value,
+            "migrations": self.ops.host_counter("job.migrations").value,
+            "restores": self.ops.host_counter("job.restores").value,
             "incidents": self.supervisor.incident_log(),
         }

@@ -32,13 +32,22 @@ class Job:
     stdin: bytes = b""
     max_instructions: Optional[int] = None
 
-    def payload(self) -> dict:
-        return {
+    def payload(self, resume: Optional[bytes] = None) -> dict:
+        """The wire dict a worker consumes.
+
+        ``resume`` carries serialized checkpoint bytes when the job is
+        being re-dispatched mid-execution (crash recovery, migration):
+        the worker restores that state instead of spawning afresh.
+        """
+        out = {
             "job_id": self.job_id,
             "program": self.program,
             "stdin": self.stdin,
             "max_instructions": self.max_instructions,
         }
+        if resume is not None:
+            out["resume"] = resume
+        return out
 
 
 @dataclass

@@ -8,23 +8,39 @@ instruction counter, there are no TLB/cache side channels, and each job
 runs in a fresh slot with fresh per-job observers — so a job's
 deterministic result fields depend only on the job, never on the worker,
 the slot, or what ran before it.
+
+Execution is *chunked* on checkpoint-interval boundaries (DESIGN.md §12):
+``execute_job`` runs to the next multiple of the interval in
+job-consumed-instruction space, captures an incremental checkpoint, polls
+the control channel, and continues.  Because the boundaries are aligned
+in consumed instructions — not in this particular run's progress — a job
+restored from a checkpoint hits the *same* subsequent boundaries as the
+uninterrupted run, which keeps crash recovery and migration
+byte-identical.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
-from typing import Optional
+import queue as _queue
+import random
+import time
+from typing import Callable, Optional
 
+from ..checkpoint import Checkpoint, CheckpointSession, restore_job
 from ..errors import Deadlock, RuntimeError_
 from ..memory.layout import SandboxLayout
 from ..obs.metrics import MetricsHub
 from ..obs.tracer import Tracer
+from ..robustness.faultinject import FaultInjector
 from ..runtime.process import ProcessState
 from ..runtime.runtime import ResourceQuota, Runtime
 from .jobs import normalize_metrics
 from .snapshot import WarmPool
 
-__all__ = ["execute_job", "worker_main"]
+__all__ = ["execute_job", "worker_main", "derive_worker_seed",
+           "DEFAULT_JOB_BUDGET", "CHAOS_EXIT"]
 
 #: Hard per-job safety net so a runaway job cannot hang the worker.
 DEFAULT_JOB_BUDGET = 20_000_000
@@ -33,41 +49,123 @@ DEFAULT_JOB_BUDGET = 20_000_000
 CHAOS_EXIT = 17
 
 
-def execute_job(runtime: Runtime, pool: Optional[WarmPool],
-                job: dict, budget: int = DEFAULT_JOB_BUDGET) -> dict:
-    """Run one job to completion; returns the result payload dict.
+def derive_worker_seed(cluster_seed: int, worker_id: int,
+                       generation: int) -> int:
+    """Deterministic per-worker-generation seed from the cluster seed.
 
-    The runtime is left clean for the next job: every process the job
-    created is terminated and reaped, and every slot the job allocated
-    (including those of already-reaped fork children) is unmapped with its
-    translations swept.  Template slots owned by the pool persist — they
-    are the point of warm spawn.
+    Hash-derived so neighbouring worker ids do not get correlated PRNG
+    streams, and a restarted worker (next generation) draws a fresh but
+    replayable stream.
+    """
+    digest = hashlib.sha256(
+        f"{cluster_seed}:{worker_id}:{generation}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def execute_job(runtime: Runtime, pool: Optional[WarmPool],
+                job: dict, budget: int = DEFAULT_JOB_BUDGET,
+                checkpoint_interval: Optional[int] = None,
+                checkpoint_sink: Optional[Callable] = None,
+                control_poll: Optional[Callable] = None) -> dict:
+    """Run one job (to completion or a yield); returns the payload dict.
+
+    ``job["resume"]`` holds serialized :class:`Checkpoint` bytes when the
+    front-end is re-dispatching a previously checkpointed job: the worker
+    restores it — original pids, COW pages, counters — and continues from
+    the captured boundary instead of starting over.
+
+    With ``checkpoint_interval`` set, execution pauses at every multiple
+    of the interval (in job-consumed instructions) to capture an
+    incremental checkpoint, hand it to ``checkpoint_sink``, and consult
+    ``control_poll(job_id)`` — a True return means the front-end wants
+    this job back (migration/drain), so the worker stops and returns a
+    ``{"kind": "yield"}`` payload carrying the fresh checkpoint.
+
+    The runtime is left clean for the next job either way: every process
+    the job created is terminated and reaped, and every slot the job
+    allocated (including those of already-reaped fork children) is
+    unmapped with its translations swept.  Template slots owned by the
+    pool persist — they are the point of warm spawn.
     """
     slot_start = runtime._next_slot
     pid_start = runtime._next_pid
-    program = job["program"]
-    if pool is not None:
-        warm_hit = pool.has_template(program)
-        proc = pool.spawn(program)
+    hub = MetricsHub()
+    consumed = 0
+    consumed_cycles = 0.0
+    restored_faults: list = []
+    restore_s = None
+    warm_hit = False
+    resume = job.get("resume")
+    if resume is not None:
+        ckpt = Checkpoint.from_bytes(resume)
+        wall0 = time.perf_counter()
+        proc = restore_job(runtime, ckpt, hub)
+        restore_s = time.perf_counter() - wall0
+        # The restored job reuses its original absolute pids, which may
+        # lie below this worker's high-water mark.
+        pid_start = min(pid_start, ckpt.root_pid)
+        consumed = ckpt.consumed_instructions
+        consumed_cycles = ckpt.consumed_cycles
+        restored_faults = list(ckpt.fault_kinds)
     else:
-        warm_hit = False
-        proc = runtime.spawn(program)
-    if job.get("stdin"):
-        proc.fds[0].buffer.extend(job["stdin"])
-    if job.get("max_instructions") is not None:
-        runtime.set_quota(
-            proc, ResourceQuota(max_instructions=job["max_instructions"]))
+        program = job["program"]
+        if pool is not None:
+            warm_hit = pool.has_template(program)
+            proc = pool.spawn(program)
+        else:
+            proc = runtime.spawn(program)
+        if job.get("stdin"):
+            proc.fds[0].buffer.extend(job["stdin"])
+        if job.get("max_instructions") is not None:
+            runtime.set_quota(
+                proc,
+                ResourceQuota(max_instructions=job["max_instructions"]))
 
+    # Attach observers only now: template builds (warm spawn) and restore
+    # plumbing must not register phantom sandboxes in the job's metrics.
     tracer = Tracer(record=False)
     tracer.attach(runtime)
-    hub = MetricsHub().attach(tracer)  # no runtime: no step probe, no
-    #                                    stepping fallback, superblocks stay
+    hub.attach(tracer)  # no runtime: no step probe, no stepping
+    #                     fallback, superblocks stay
+    session = (CheckpointSession(runtime, proc, hub)
+               if checkpoint_interval else None)
     fault_cursor = len(runtime.faults)
     instret0 = runtime.machine.instret
     cycles0 = runtime.machine.cycles
     status = "ok"
+    yielded = None
     try:
-        runtime.run_until_exit(proc, max_instructions=budget)
+        while True:
+            executed = consumed + (runtime.machine.instret - instret0)
+            if checkpoint_interval:
+                # Next boundary in *job-consumed* instruction space, so a
+                # resumed run pauses at the same points as an
+                # uninterrupted one regardless of where it picked up.
+                boundary = ((executed // checkpoint_interval) + 1) \
+                    * checkpoint_interval
+                chunk_end = min(boundary, budget)
+            else:
+                chunk_end = budget
+            done = runtime.run_bounded(proc, chunk_end - executed)
+            executed = consumed + (runtime.machine.instret - instret0)
+            if done:
+                break
+            if executed > budget:
+                raise RuntimeError_("job instruction budget exceeded")
+            if session is not None:
+                kinds = restored_faults + [
+                    f.kind for f in runtime.faults[fault_cursor:]]
+                ckpt = session.capture(
+                    consumed_instructions=executed,
+                    consumed_cycles=(consumed_cycles
+                                     + (runtime.machine.cycles - cycles0)),
+                    fault_kinds=kinds,
+                )
+                if control_poll is not None and control_poll(job["job_id"]):
+                    yielded = ckpt
+                    break
+                if checkpoint_sink is not None:
+                    checkpoint_sink(ckpt)
     except Deadlock:
         status = "deadlock"
         _kill_live(runtime, 128 + 6)
@@ -78,21 +176,36 @@ def execute_job(runtime: Runtime, pool: Optional[WarmPool],
         hub.detach()
         tracer.detach()
 
+    if yielded is not None:
+        payload = {
+            "kind": "yield",
+            "job_id": job["job_id"],
+            "checkpoint": yielded.to_bytes(),
+        }
+        _cleanup(runtime, pool, slot_start, pid_start)
+        return payload
+
     stderr = proc.fds[2].text() if 2 in proc.fds else ""
     payload = {
+        "kind": "result",
         "job_id": job["job_id"],
         "exit_code": proc.exit_code or 0,
         "stdout": runtime.stdout_of(proc),
         "stderr": stderr,
         "metrics": normalize_metrics(hub.snapshot(), proc.pid),
-        "faults": [f.kind for f in runtime.faults[fault_cursor:]],
+        "faults": restored_faults + [
+            f.kind for f in runtime.faults[fault_cursor:]],
         "diag": {
             "warm": warm_hit,
             "status": status,
-            "instructions": runtime.machine.instret - instret0,
-            "cycles": runtime.machine.cycles - cycles0,
+            "instructions": consumed + (runtime.machine.instret - instret0),
+            "cycles": consumed_cycles + (runtime.machine.cycles - cycles0),
+            "checkpoints": session.seq if session is not None else 0,
         },
     }
+    if restore_s is not None:
+        payload["diag"]["restore_s"] = restore_s
+        payload["diag"]["resumed_at"] = consumed
     _cleanup(runtime, pool, slot_start, pid_start)
     return payload
 
@@ -124,35 +237,109 @@ def _cleanup(runtime: Runtime, pool: Optional[WarmPool],
     for pid in range(pid_start, runtime._next_pid):
         runtime._mmap_cursors.pop(pid, None)
         runtime.quotas.pop(pid, None)
+        runtime._pending_call.pop(pid, None)
 
 
 def worker_main(worker_id: int, generation: int, config: dict,
-                job_queue, result_queue) -> None:
+                job_queue, result_queue, ctrl_queue=None) -> None:
     """Worker process entry point: pull jobs until the shutdown sentinel.
 
-    Fault injection: when ``config["chaos"]`` maps this worker id to N and
-    this is the worker's first generation, the process dies with
-    ``os._exit`` on taking its (N+1)th job — before producing a result —
-    which is exactly the crash window the front-end must survive.
+    Fault injection, all seeded from ``config["seed"]`` via
+    :func:`derive_worker_seed` so chaos runs replay exactly:
+
+    * ``config["chaos"]`` maps this worker id to N: on its first
+      generation the worker dies with ``os._exit`` during its (N+1)th job
+      — at a seeded scheduling slice, or (for jobs too short to get
+      there) right after execution but *before* reporting the result.
+      Either way the crash window is one the front-end must survive;
+    * ``config["chaos_faults"]`` maps this worker id to a count of
+      sandbox-level fault injections (:class:`FaultInjector`) armed
+      against whatever this worker runs.
+
+    ``ctrl_queue`` carries yield requests from the front-end: ``{"op":
+    "yield", "job_id": n}`` asks for one job back at its next checkpoint
+    boundary (migration); ``{"op": "yield_all"}`` puts the worker into
+    draining mode — the current job yields and every queued job bounces
+    back unexecuted (elastic scale-down).
     """
     runtime = Runtime(model=None,
                       engine=config.get("engine", "superblock"),
                       timeslice=config.get("timeslice", 50_000))
     pool = WarmPool(runtime) if config.get("warm_spawn", True) else None
     budget = config.get("budget", DEFAULT_JOB_BUDGET)
+    interval = config.get("checkpoint_interval")
+    seed = derive_worker_seed(config.get("seed", 0), worker_id, generation)
+    rng = random.Random(seed)
+    chaos_faults = (config.get("chaos_faults") or {}).get(worker_id)
+    if chaos_faults:
+        injector = FaultInjector(runtime, seed=seed)
+        injector.arm(injector.plan(chaos_faults))
     crash_after = None
     if generation == 0:
         crash_after = (config.get("chaos") or {}).get(worker_id)
+
+    state = {"draining": False, "yields": set()}
+
+    def drain_ctrl() -> None:
+        if ctrl_queue is None:
+            return
+        while True:
+            try:
+                msg = ctrl_queue.get_nowait()
+            except _queue.Empty:
+                return
+            if msg.get("op") == "yield":
+                state["yields"].add(msg["job_id"])
+            elif msg.get("op") == "yield_all":
+                state["draining"] = True
+
+    def control_poll(job_id: int) -> bool:
+        drain_ctrl()
+        return state["draining"] or job_id in state["yields"]
+
     taken = 0
     while True:
         job = job_queue.get()
         if job is None:
             return
+        drain_ctrl()
+        if state["draining"]:
+            result_queue.put({"kind": "bounce", "job_id": job["job_id"]})
+            continue
         taken += 1
-        if crash_after is not None and taken > crash_after:
+        fatal = crash_after is not None and taken > crash_after
+        if fatal:
+            # Seeded mid-job crash: blow up at the top of a scheduling
+            # slice somewhere inside this job's execution.
+            fuse = [rng.randint(3, 40)]
+
+            def blow(machine, fuel, _fuse=fuse):
+                _fuse[0] -= 1
+                if _fuse[0] <= 0:
+                    os._exit(CHAOS_EXIT)
+
+            runtime.machine.run_hooks.add(blow)
+
+        def sink(ckpt, _job_id=job["job_id"]):
+            result_queue.put({"kind": "checkpoint", "job_id": _job_id,
+                              "checkpoint": ckpt.to_bytes(),
+                              "seq": ckpt.stats.get("seq", 0)})
+
+        payload = execute_job(
+            runtime, pool, job, budget=budget,
+            checkpoint_interval=interval,
+            checkpoint_sink=sink,
+            control_poll=control_poll if ctrl_queue is not None else None,
+        )
+        if fatal:
+            # The job was too short to reach the slice fuse: die in the
+            # same window the pre-chunking chaos used — after execution,
+            # before the result reaches the front-end.
             os._exit(CHAOS_EXIT)
-        payload = execute_job(runtime, pool, job, budget=budget)
-        # Diagnostic only — placement is intentionally outside the
-        # deterministic result key (it varies with worker count).
-        payload["diag"]["worker"] = worker_id
+        if payload.get("kind") == "yield":
+            state["yields"].discard(job["job_id"])
+        else:
+            # Diagnostic only — placement is intentionally outside the
+            # deterministic result key (it varies with worker count).
+            payload["diag"]["worker"] = worker_id
         result_queue.put(payload)

@@ -28,6 +28,7 @@ __all__ = [
     "RuntimeError_",
     "Deadlock",
     "ClusterError",
+    "CheckpointError",
     "VfsError",
 ]
 
@@ -66,6 +67,10 @@ class Deadlock(RuntimeError_):
 
 class ClusterError(RuntimeError_):
     """A sharded cluster run cannot complete (worker restarts exhausted)."""
+
+
+class CheckpointError(RuntimeError_):
+    """A checkpoint cannot be taken or restored."""
 
 
 class VfsError(OSError, ReproError):

@@ -31,8 +31,10 @@ Everything is deterministic: one seed produces one byte-identical log.
 from .campaign import CampaignStats, FuzzCampaign
 from .corpus import CorpusEntry, load_corpus, replay_corpus, save_entry
 from .differential import (
+    CHECKPOINT_POINTS,
     Finding,
     LEVELS,
+    check_checkpoint,
     check_completeness,
     check_semantics,
     rewrite_to_elf,
@@ -44,9 +46,11 @@ from .mutate import Mutation, MutationEngine, apply_mutations
 
 __all__ = [
     "AsmGenerator",
+    "CHECKPOINT_POINTS",
     "CampaignStats",
     "CorpusEntry",
     "Finding",
+    "check_checkpoint",
     "FuzzCampaign",
     "GenConfig",
     "GeneratedProgram",

@@ -11,7 +11,10 @@ Each iteration of the budget:
 2. run the **completeness** and **semantics** oracles across all four
    rewrite levels against one shared native execution;
 3. corrupt the verified O1 and store-only rewrites with the mutation
-   engine and feed each mutant to the **soundness** probe.
+   engine and feed each mutant to the **soundness** probe;
+4. (optional, ``checkpoint_points > 0``) interrupt the verified O1
+   rewrite at seeded points and check the **checkpoint** oracle —
+   serialize/restore/resume must be observationally invisible.
 
 Failures are shrunk (:mod:`~repro.fuzz.shrink`) and, when a corpus
 directory is configured, persisted for deterministic replay.
@@ -32,6 +35,7 @@ from .differential import (
     LEVELS,
     Finding,
     assemble_to_elf,
+    check_checkpoint,
     check_completeness,
     check_semantics,
     mutant_elf,
@@ -82,10 +86,12 @@ class FuzzCampaign:
                  mutants_per_program: int = 4,
                  config: Optional[GenConfig] = None,
                  corpus_dir: Optional[Path] = None,
-                 probe_budget: int = CAMPAIGN_PROBE_BUDGET):
+                 probe_budget: int = CAMPAIGN_PROBE_BUDGET,
+                 checkpoint_points: int = 0):
         self.seed = seed
         self.budget = budget
         self.mutants_per_program = mutants_per_program
+        self.checkpoint_points = checkpoint_points
         self.rng = random.Random(seed)
         self.generator = AsmGenerator(config)
         self.engine = MutationEngine(self.rng)
@@ -112,11 +118,16 @@ class FuzzCampaign:
             if findings:
                 self._report_program(iteration, program, findings)
             mutant_findings = self._mutants(iteration, bases)
-            self.log(f"iter {iteration:04d} frags="
-                     f"{len(program.fragments)} "
-                     f"est={program.instruction_estimate()} "
-                     f"findings={len(findings)} "
-                     f"mutant-findings={len(mutant_findings)}")
+            line = (f"iter {iteration:04d} frags="
+                    f"{len(program.fragments)} "
+                    f"est={program.instruction_estimate()} "
+                    f"findings={len(findings)} "
+                    f"mutant-findings={len(mutant_findings)}")
+            if self.checkpoint_points:
+                ckpt_findings = self._checkpoints(bases)
+                line += f" ckpt-findings={len(ckpt_findings)}"
+                self.findings.extend(ckpt_findings)
+            self.log(line)
             self.findings.extend(findings)
             self.findings.extend(mutant_findings)
         self.stats.findings = len(self.findings)
@@ -197,6 +208,25 @@ class FuzzCampaign:
         mutated = apply_mutations(text, plan)
         return soundness_probe(mutant_elf(elf, mutated), policy,
                                budget=self.probe_budget)
+
+    def _checkpoints(self, bases: Dict[str, Tuple[ElfImage,
+                                                  VerifierPolicy]],
+                     ) -> List[Finding]:
+        """Checkpoint-transparency oracle on the verified O1 rewrite.
+
+        Interruption points are drawn from the campaign RNG, so the same
+        seed probes the same split points; programs shorter than a point
+        skip it inside the oracle.
+        """
+        if "O1" not in bases:
+            return []
+        points = tuple(sorted(
+            self.rng.randrange(20, 2400)
+            for _ in range(self.checkpoint_points)))
+        findings = check_checkpoint(bases["O1"][0], points=points)
+        for finding in findings:
+            self.log(finding.line())
+        return findings
 
     # -- failure reporting and shrinking --------------------------------------
 

@@ -1,4 +1,4 @@
-"""The three differential oracles (ISSUE 2 tentpole).
+"""The differential oracles (ISSUE 2 tentpole, extended by ISSUE 6).
 
 * :func:`check_completeness` — everything the rewriter emits must be
   accepted by the verifier, at every optimization level (paper §5.1);
@@ -7,7 +7,13 @@
   final register file and data buffer;
 * :func:`soundness_probe` — a mutant the verifier *accepts* must execute
   under the :class:`~repro.robustness.ContainmentAuditor` with zero
-  out-of-sandbox effects (paper §5.2, tested adversarially).
+  out-of-sandbox effects (paper §5.2, tested adversarially);
+* :func:`check_checkpoint` — interrupting a run at an arbitrary point,
+  serializing it through :class:`~repro.checkpoint.Checkpoint` bytes, and
+  resuming in a *fresh* runtime must be observationally invisible: exit
+  code, stdout, instruction count, canonical registers, normalized memory
+  digests, metrics, and the full normalized event trace all byte-identical
+  to the uninterrupted run (DESIGN.md §12).
 
 All entry points are pure functions of their inputs; nothing here consults
 global randomness, so a fuzz campaign driven by one seed replays exactly.
@@ -20,6 +26,16 @@ from typing import List, Optional, Tuple
 
 from ..arm64 import parse_assembly
 from ..arm64.assembler import assemble
+from ..checkpoint import (
+    Checkpoint,
+    canonical_registers,
+    capture_job,
+    job_processes,
+    memory_digest,
+    normalize_events,
+    restore_job,
+    track_slot_bases,
+)
 from ..core import (
     O0,
     O1,
@@ -34,12 +50,15 @@ from ..core import (
 from ..elf import PF_X, ElfImage, ElfSegment, build_elf
 from ..emulator import BrkTrap, Machine, OutOfFuel
 from ..memory import GUARD_SIZE, PERM_RW, PERM_RX, PagedMemory, SandboxLayout
+from ..obs import MetricsHub, Tracer
 from ..robustness import ContainmentAuditor
 from ..runtime import Deadlock, Runtime, RuntimeError_
 
 __all__ = [
     "Finding",
     "LEVELS",
+    "CHECKPOINT_POINTS",
+    "check_checkpoint",
     "check_completeness",
     "check_semantics",
     "assemble_to_elf",
@@ -71,6 +90,15 @@ RUN_FUEL = 200_000
 
 #: Instruction budget for one mutant probe under the runtime.
 PROBE_BUDGET = 50_000
+
+#: Default interruption points (in retired instructions) for the
+#: checkpoint oracle.  Deliberately *not* timeslice-aligned: run_bounded
+#: rounds up to the next slice boundary, so odd points also prove that
+#: chunked execution never pauses mid-slice.
+CHECKPOINT_POINTS: Tuple[int, ...] = (37, 120, 451, 1900)
+
+#: Instruction budget for one checkpoint-oracle run.
+CHECKPOINT_BUDGET = 500_000
 
 
 @dataclass(frozen=True)
@@ -274,3 +302,123 @@ def soundness_probe(elf: ElfImage, policy: Optional[VerifierPolicy] = None,
             f"[{outcome}] register: pid={proc.pid} sp = {sp:#x} outside "
             f"slot [{lo:#x}, {hi:#x}] and its guard regions"))
     return True, findings
+
+
+# -- oracle 4: checkpoint transparency ----------------------------------------
+
+
+def _observed_run(elf: ElfImage, stdin: bytes, timeslice: int):
+    """A fresh fully-observed runtime with ``elf`` spawned, not yet run."""
+    runtime = Runtime(model=None, timeslice=timeslice)
+    tracer = Tracer(record=True)
+    tracer.attach(runtime)
+    hub = MetricsHub().attach(tracer, runtime)
+    bases = track_slot_bases(runtime, tracer)
+    proc = runtime.spawn(elf)
+    if stdin:
+        proc.fds[0].buffer.extend(stdin)
+    return runtime, tracer, hub, bases, proc
+
+
+def _final_state(runtime: Runtime, root) -> dict:
+    """Everything position-independent a finished job left behind."""
+    procs = {}
+    for proc in job_processes(runtime, root):
+        procs[proc.pid - root.pid] = (
+            str(proc.state),
+            proc.exit_code,
+            proc.instructions,
+            canonical_registers(proc.registers, proc.layout),
+            memory_digest(runtime.memory, proc.layout),
+        )
+    return procs
+
+
+def check_checkpoint(elf: ElfImage, points: Tuple[int, ...]
+                     = CHECKPOINT_POINTS, budget: int = CHECKPOINT_BUDGET,
+                     stdin: bytes = b"", timeslice: int = 50,
+                     ) -> List[Finding]:
+    """Checkpoint/restore at each point must be observationally invisible.
+
+    For every interruption point: run a fresh sandbox for that many
+    instructions, capture a :class:`~repro.checkpoint.Checkpoint`,
+    round-trip it through bytes, restore into a *fresh* runtime, and run
+    to completion.  The split run must match the uninterrupted reference
+    byte-for-byte on exit code, stdout, per-process instruction counts,
+    canonical registers, normalized memory digests, metrics state, and
+    the full normalized event trace (checkpoint-phase events rebased by
+    the consumed cycle/instruction counters).  Points past the program's
+    natural exit are skipped — there is nothing left to interrupt.
+    """
+    runtime, tracer, hub, bases, proc = _observed_run(elf, stdin, timeslice)
+    if not runtime.run_bounded(proc, budget):
+        return [Finding("checkpoint", "-",
+                        f"reference run did not halt in {budget}")]
+    reference = {
+        "stdout": runtime.stdout_of(proc),
+        "events": normalize_events(tracer.events, bases, pid_base=proc.pid),
+        "metrics": hub.state_dict(pid_base=proc.pid),
+        "state": _final_state(runtime, proc),
+    }
+
+    findings: List[Finding] = []
+    for point in points:
+        rt1, tr1, hub1, b1, p1 = _observed_run(elf, stdin, timeslice)
+        if rt1.run_bounded(p1, point):
+            continue  # program finished before the interruption point
+        ckpt = capture_job(
+            rt1, p1, hub1,
+            consumed_instructions=rt1.machine.instret,
+            consumed_cycles=rt1.machine.cycles)
+        blob = ckpt.to_bytes()
+        ckpt2 = Checkpoint.from_bytes(blob)
+        if ckpt2.digest() != ckpt.digest():
+            findings.append(Finding(
+                "checkpoint", f"@{point}",
+                "serialization round trip changed the digest"))
+            continue
+        phase1 = normalize_events(tr1.events, b1, pid_base=p1.pid)
+
+        rt2 = Runtime(model=None, timeslice=timeslice)
+        tr2 = Tracer(record=True)
+        tr2.attach(rt2)
+        hub2 = MetricsHub().attach(tr2, rt2)
+        b2 = track_slot_bases(rt2, tr2)
+        p2 = restore_job(rt2, ckpt2, hub2)
+        if not rt2.run_bounded(p2, budget):
+            findings.append(Finding("checkpoint", f"@{point}",
+                                    "resumed run did not halt"))
+            continue
+        phase2 = normalize_events(
+            tr2.events, b2, ts_base=-ckpt2.consumed_cycles,
+            pid_base=p2.pid, instret_base=-ckpt2.consumed_instructions)
+
+        resumed_stdout = rt2.stdout_of(p2)
+        if resumed_stdout != reference["stdout"]:
+            findings.append(Finding(
+                "checkpoint", f"@{point}",
+                f"stdout diverged: ref={reference['stdout']!r} "
+                f"resumed={resumed_stdout!r}"))
+        state = _final_state(rt2, p2)
+        if state != reference["state"]:
+            for off in sorted(set(reference["state"]) | set(state)):
+                if reference["state"].get(off) != state.get(off):
+                    findings.append(Finding(
+                        "checkpoint", f"@{point}",
+                        f"process +{off} final state diverged"))
+                    break
+        if hub2.state_dict(pid_base=p2.pid) != reference["metrics"]:
+            findings.append(Finding("checkpoint", f"@{point}",
+                                    "metrics state diverged"))
+        combined = phase1 + phase2
+        if combined != reference["events"]:
+            detail = "trace diverged"
+            for a, b in zip(reference["events"], combined):
+                if a != b:
+                    detail = (f"trace diverged: ref={a!r} resumed={b!r}")
+                    break
+            else:
+                detail = (f"trace length {len(reference['events'])} != "
+                          f"{len(combined)}")
+            findings.append(Finding("checkpoint", f"@{point}", detail))
+    return findings

@@ -90,6 +90,16 @@ class Histogram:
         out.append(f"{prefix}.count {self.count}")
         return out
 
+    def state_dict(self) -> dict:
+        return {"bounds": tuple(self.bounds), "buckets": list(self.buckets),
+                "total": self.total, "count": self.count}
+
+    def load_state(self, state: dict) -> None:
+        self.bounds = tuple(state["bounds"])
+        self.buckets = list(state["buckets"])
+        self.total = state["total"]
+        self.count = state["count"]
+
 
 class _SandboxMetrics:
     """The metric set kept for each sandbox pid."""
@@ -111,6 +121,11 @@ class MetricsHub:
     def __init__(self):
         self.sandboxes: Dict[int, _SandboxMetrics] = {}
         self.host: Dict[str, Gauge] = {}
+        #: Named host-level counters/histograms (ops metrics: restarts,
+        #: checkpoints, restore latency).  Distinct from the pull-path
+        #: gauges so ``collect`` never clobbers them.
+        self.host_counters: Dict[str, Counter] = {}
+        self.host_histograms: Dict[str, Histogram] = {}
         self._tracer = None
         self._runtime = None
 
@@ -212,6 +227,20 @@ class MetricsHub:
             gauge = self.host[name] = Gauge()
         return gauge
 
+    def host_counter(self, name: str) -> Counter:
+        counter = self.host_counters.get(name)
+        if counter is None:
+            counter = self.host_counters[name] = Counter()
+        return counter
+
+    def host_histogram(self, name: str,
+                       bounds: Tuple[float, ...] = CALL_LATENCY_BUCKETS,
+                       ) -> Histogram:
+        histogram = self.host_histograms.get(name)
+        if histogram is None:
+            histogram = self.host_histograms[name] = Histogram(bounds)
+        return histogram
+
     @staticmethod
     def _headroom(metrics: _SandboxMetrics, name: str) -> Gauge:
         gauge = metrics.headroom.get(name)
@@ -224,8 +253,14 @@ class MetricsHub:
     def snapshot(self) -> str:
         """Deterministic text dump: one ``name value`` line per metric."""
         lines: List[str] = []
-        for name in sorted(self.host):
-            lines.append(f"host.{name} {_fmt(self.host[name].value)}")
+        for name in sorted(set(self.host) | set(self.host_counters)):
+            if name in self.host:
+                lines.append(f"host.{name} {_fmt(self.host[name].value)}")
+            if name in self.host_counters:
+                lines.append(f"host.{name} "
+                             f"{self.host_counters[name].value}")
+        for name in sorted(self.host_histograms):
+            lines.extend(self.host_histograms[name].lines(f"host.{name}"))
         for pid in sorted(self.sandboxes):
             metrics = self.sandboxes[pid]
             prefix = f"sandbox[{pid}]"
@@ -247,6 +282,48 @@ class MetricsHub:
                 lines.append(f"{prefix}.headroom.{name} "
                              f"{_fmt(metrics.headroom[name].value)}")
         return "\n".join(lines) + "\n"
+
+    # -- checkpoint support ----------------------------------------------------
+
+    def state_dict(self, pid_base: int = 0) -> dict:
+        """Serializable sandbox-track state, pids relative to ``pid_base``.
+
+        Host gauges/counters are deliberately excluded: they describe the
+        *hub's* host, which a migrated job leaves behind.
+        """
+        out = {}
+        for pid, metrics in self.sandboxes.items():
+            out[pid - pid_base] = {
+                "instructions": metrics.instructions.value,
+                "slices": metrics.slices.value,
+                "faults": metrics.faults.value,
+                "calls": {name: c.value
+                          for name, c in metrics.calls.items()},
+                "call_latency": metrics.call_latency.state_dict(),
+                "guard_exec": {name: c.value
+                               for name, c in metrics.guard_exec.items()},
+                "headroom": {name: g.value
+                             for name, g in metrics.headroom.items()},
+            }
+        return {"sandboxes": out}
+
+    def load_state(self, state: dict, pid_base: int = 0) -> None:
+        """Restore :meth:`state_dict` output, rebasing pids onto ``pid_base``."""
+        for offset, entry in state["sandboxes"].items():
+            metrics = self.sandbox(pid_base + offset)
+            metrics.instructions.value = entry["instructions"]
+            metrics.slices.value = entry["slices"]
+            metrics.faults.value = entry["faults"]
+            for name, value in entry["calls"].items():
+                counter = metrics.calls.setdefault(name, Counter())
+                counter.value = value
+            metrics.call_latency.load_state(entry["call_latency"])
+            for name, value in entry["guard_exec"].items():
+                counter = metrics.guard_exec.setdefault(name, Counter())
+                counter.value = value
+            for name, value in entry["headroom"].items():
+                gauge = metrics.headroom.setdefault(name, Gauge())
+                gauge.value = value
 
 
 def merge_snapshots(parts) -> str:

@@ -23,6 +23,7 @@ runtime ignored.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -308,14 +309,40 @@ class WorkerSupervisor:
     logic stays testable without multiprocessing.
     """
 
-    def __init__(self, policy: RestartPolicy = ON_FAILURE):
+    def __init__(self, policy: RestartPolicy = ON_FAILURE, *,
+                 backoff_unit: float = 0.05, max_backoff: float = 2.0,
+                 jitter_frac: float = 0.25, seed: int = 0):
         self.policy = policy
+        #: Wall-clock seconds per unit of the policy's (round-denominated)
+        #: exponential backoff, with a hard cap and bounded jitter.
+        self.backoff_unit = backoff_unit
+        self.max_backoff = max_backoff
+        self.jitter_frac = jitter_frac
+        self._rng = random.Random(seed)
         self.incidents: List[Incident] = []
         self._restarts: Dict[int, int] = {}
         self._seq = 0
 
     def restarts(self, worker_id: int) -> int:
         return self._restarts.get(worker_id, 0)
+
+    def next_backoff(self, worker_id: int) -> float:
+        """Seconds to wait before relaunching ``worker_id``.
+
+        Exponential in the worker's restart count (the policy's base and
+        factor, scaled by :attr:`backoff_unit`), capped at
+        :attr:`max_backoff`, then stretched by a bounded jitter in
+        ``[0, jitter_frac]`` so a correlated crash of many workers does
+        not produce a synchronized relaunch stampede.  Seeded, so a chaos
+        run's restart timeline replays.
+        """
+        exponent = max(0, self.restarts(worker_id) - 1)
+        delay = min(
+            self.max_backoff,
+            self.backoff_unit * self.policy.backoff_base
+            * self.policy.backoff_factor ** exponent,
+        )
+        return delay * (1.0 + self._rng.random() * self.jitter_frac)
 
     @property
     def total_restarts(self) -> int:

@@ -19,7 +19,8 @@ from ..memory.pages import PERM_R, PERM_RW, PERM_RX, PagedMemory
 from .process import Process, ProcessState, StdStream
 from .table import build_table_page
 
-__all__ = ["load_image", "clone_process", "DEFAULT_STACK_SIZE"]
+__all__ = ["load_image", "clone_process", "alias_slot",
+           "DEFAULT_STACK_SIZE"]
 
 DEFAULT_STACK_SIZE = 1024 * 1024
 
@@ -119,6 +120,25 @@ def load_image(
     return proc
 
 
+def alias_slot(
+    memory: PagedMemory,
+    src: SandboxLayout,
+    dst: SandboxLayout,
+) -> None:
+    """COW-alias every mapped region of slot ``src`` into slot ``dst``.
+
+    The paper's memfd optimization (§5.3): the destination slot sees the
+    same physical pages at the same in-slot offsets, and pages are copied
+    only when either side first writes.  This is the shared mechanism
+    behind fork, warm spawn, and O(dirty pages) checkpointing.
+    """
+    lo, hi = src.base, src.end
+    for base, size, _perms in list(memory.mapped_regions()):
+        if base >= hi or base + size <= lo:
+            continue
+        memory.share_region(base, dst.base + (base - lo), size)
+
+
 def clone_process(
     memory: PagedMemory,
     template: Process,
@@ -136,11 +156,7 @@ def clone_process(
     once, map many" instantiation path).
     """
     src = template.layout
-    lo, hi = src.base, src.end
-    for base, size, _perms in list(memory.mapped_regions()):
-        if base >= hi or base + size <= lo:
-            continue
-        memory.share_region(base, layout.base + (base - lo), size)
+    alias_slot(memory, src, layout)
 
     def rebase(value: int) -> int:
         return layout.base + (value - src.base)

@@ -42,6 +42,18 @@ class StdStream:
     def text(self) -> str:
         return self.buffer.decode("utf-8", "replace")
 
+    def state(self) -> dict:
+        """Serializable snapshot (checkpoint support)."""
+        return {"buffer": bytes(self.buffer), "readable": self.readable,
+                "read_pos": self._read_pos}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StdStream":
+        stream = cls(readable=state["readable"])
+        stream.buffer.extend(state["buffer"])
+        stream._read_pos = state["read_pos"]
+        return stream
+
 
 @dataclass
 class Process:

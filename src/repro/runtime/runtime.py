@@ -46,7 +46,7 @@ from ..obs.events import (
     ProcessEvent,
     RuntimeCallSpan,
 )
-from .loader import DEFAULT_STACK_SIZE, clone_process, load_image
+from .loader import DEFAULT_STACK_SIZE, alias_slot, clone_process, load_image
 from .process import Process, ProcessState, StdStream
 from .scheduler import Scheduler
 from .syscalls import BLOCK, EXITED, HANDLERS, SWITCH
@@ -323,14 +323,14 @@ class Runtime:
         pid = self._next_pid
         self._next_pid += 1
 
-        lo, hi = parent.layout.base, parent.layout.end
-        for base, size, perms in list(self.memory.mapped_regions()):
-            if base >= hi or base + size <= lo:
-                continue
-            offset = base - lo
-            if cow:
-                self.memory.share_region(base, layout.base + offset, size)
-            else:
+        if cow:
+            alias_slot(self.memory, parent.layout, layout)
+        else:
+            lo, hi = parent.layout.base, parent.layout.end
+            for base, size, perms in list(self.memory.mapped_regions()):
+                if base >= hi or base + size <= lo:
+                    continue
+                offset = base - lo
                 self.memory.map_region(layout.base + offset, size, PERM_RW)
                 data = self.memory._raw_read(base, size)
                 self.memory.load_image(layout.base + offset, data)
@@ -502,20 +502,42 @@ class Runtime:
         """Run until ``proc`` exits; returns its exit code."""
         start = self.machine.instret
         while proc.state != ProcessState.ZOMBIE:
-            runnable = self.scheduler.pick()
-            if runnable is None:
-                blocked = [p for p in self.processes.values()
-                           if p.state == ProcessState.BLOCKED]
-                for p in blocked:
-                    self._retry_blocked(p)
-                if self.scheduler.empty:
-                    raise _Deadlock("target process cannot make progress")
-                continue
-            self._run_one(runnable)
+            self._step_target()
             if max_instructions is not None \
                     and self.machine.instret - start > max_instructions:
                 raise _RuntimeError("instruction budget exceeded")
         return proc.exit_code or 0
+
+    def run_bounded(self, proc: Process, max_instructions: int) -> bool:
+        """Run toward ``proc``'s exit for at most ~``max_instructions``.
+
+        Returns True once ``proc`` has exited, False when the budget ran
+        out first (checked between scheduling slices, so the pause always
+        lands on a slice boundary — the precondition for checkpointing
+        without perturbing the slice pattern).  Unlike
+        :meth:`run_until_exit` the budget is a pause, not an error, so
+        callers can interleave work (checkpoints, control messages) and
+        resume by calling again.
+        """
+        start = self.machine.instret
+        while proc.state != ProcessState.ZOMBIE:
+            self._step_target()
+            if self.machine.instret - start > max_instructions:
+                return False
+        return True
+
+    def _step_target(self) -> None:
+        """One scheduling step: pick and run a slice, or retry the blocked."""
+        runnable = self.scheduler.pick()
+        if runnable is None:
+            blocked = [p for p in self.processes.values()
+                       if p.state == ProcessState.BLOCKED]
+            for p in blocked:
+                self._retry_blocked(p)
+            if self.scheduler.empty:
+                raise _Deadlock("target process cannot make progress")
+            return
+        self._run_one(runnable)
 
     def _run_one(self, proc: Process) -> None:
         self._switch_to(proc)

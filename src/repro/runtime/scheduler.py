@@ -121,6 +121,42 @@ class Scheduler:
         """Drop a reaped process's bookkeeping (long-lived runtimes)."""
         self._picked.pop(proc.pid, None)
 
+    # -- checkpoint support ---------------------------------------------------
+
+    def capture_order(self, pids) -> dict:
+        """Queue membership, order, and epoch position for ``pids``.
+
+        Epochs are recorded relative to the current round (``0`` = turn
+        spent this round), so the state is meaningful in a scheduler whose
+        absolute epoch counter differs — restore re-anchors against the
+        destination's round.
+        """
+        return {
+            "active": [p.pid for p in self._active if p.pid in pids],
+            "expired": [p.pid for p in self._expired if p.pid in pids],
+            "picked": {pid: self._epoch - epoch
+                       for pid, epoch in self._picked.items()
+                       if pid in pids},
+        }
+
+    def restore_order(self, state: dict, procs: Dict[int, Process]) -> None:
+        """Re-enqueue ``procs`` (old pid -> Process) exactly as captured.
+
+        Appends preserve the captured relative order; a worker scheduler
+        holds only the one job's processes, so the restored queues are
+        byte-equivalent to the uninterrupted run's.
+        """
+        for old_pid in state["active"]:
+            proc = procs[old_pid]
+            self._queued.add(proc.pid)
+            self._active.append(proc)
+        for old_pid in state["expired"]:
+            proc = procs[old_pid]
+            self._queued.add(proc.pid)
+            self._expired.append(proc)
+        for old_pid, delta in state["picked"].items():
+            self._picked[procs[old_pid].pid] = self._epoch - delta
+
     def __len__(self) -> int:
         return sum(1 for p in self._active if p.state == ProcessState.READY) \
             + sum(1 for p in self._expired if p.state == ProcessState.READY)

@@ -175,17 +175,47 @@ class Vfs:
             raise _VfsError(errno.EISDIR, path)
         if flags & O_TRUNC and accmode != O_RDONLY:
             node.data.clear()
-        return FileHandle(node, accmode, append=bool(flags & O_APPEND))
+        return FileHandle(node, accmode, append=bool(flags & O_APPEND),
+                          path=normalize(path))
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the whole tree plus the deny policy."""
+        def encode(node: _Dir) -> dict:
+            return {
+                name: (bytes(child.data) if isinstance(child, _File)
+                       else encode(child))
+                for name, child in sorted(node.entries.items())
+            }
+        return {"tree": encode(self.root),
+                "denied": list(self.denied_prefixes)}
+
+    def load_state(self, state: dict) -> None:
+        """Replace the tree and policy with a :meth:`state_dict` snapshot."""
+        def decode(entries: dict) -> _Dir:
+            node = _Dir()
+            for name, child in entries.items():
+                node.entries[name] = (_File(bytearray(child))
+                                      if isinstance(child, (bytes, bytearray))
+                                      else decode(child))
+            return node
+        self.root = decode(state["tree"])
+        self.denied_prefixes = list(state["denied"])
 
 
 class FileHandle:
     """An open file description: a file plus an offset and access mode."""
 
-    def __init__(self, node: _File, accmode: int, append: bool = False):
+    def __init__(self, node: _File, accmode: int, append: bool = False,
+                 path: str = ""):
         self._node = node
         self.accmode = accmode
         self.append = append
         self.offset = 0
+        #: Normalized path the handle was opened at; checkpoints re-open
+        #: the description by path against the restored tree.
+        self.path = path
 
     @property
     def readable(self) -> bool:

@@ -132,6 +132,7 @@ def _cmd_fuzz(args) -> int:
             mutants_per_program=args.mutants,
             config=GenConfig(exclusives=not args.no_exclusives),
             corpus_dir=args.save_corpus,
+            checkpoint_points=args.checkpoint_points,
             )
         findings.extend(campaign.run())
         for line in campaign.lines:
@@ -286,6 +287,106 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _checkpoint_image(args):
+    """The ELF image a checkpoint/migrate command operates on."""
+    if args.bench:
+        from ..workloads.spec import arena_bss_size, build_benchmark
+
+        asm = build_benchmark(args.input, target_instructions=args.target)
+        return compile_lfi(asm, options=_options_from(args),
+                           bss_size=arena_bss_size(args.input)).elf
+    with open(args.input, "rb") as handle:
+        return read_elf(handle.read())
+
+
+def _cmd_checkpoint(args) -> int:
+    from ..checkpoint import Checkpoint, capture_job, restore_job
+
+    image = _checkpoint_image(args)
+
+    if args.restore:
+        with open(args.restore, "rb") as handle:
+            ckpt = Checkpoint.from_bytes(handle.read())
+        runtime = Runtime(model=None, timeslice=args.timeslice)
+        proc = restore_job(runtime, ckpt)
+        runtime.run_bounded(proc, args.max_insts)
+        sys.stdout.write(runtime.stdout_of(proc))
+        print(f"[resumed at {ckpt.consumed_instructions}, exit "
+              f"{proc.exit_code}, {proc.instructions} instructions total]",
+              file=sys.stderr)
+        return proc.exit_code or 0
+
+    runtime = Runtime(model=None, timeslice=args.timeslice)
+    proc = runtime.spawn(image)
+    done = runtime.run_bounded(proc, args.point)
+    ckpt = capture_job(runtime, proc,
+                       consumed_instructions=runtime.machine.instret,
+                       consumed_cycles=runtime.machine.cycles)
+    blob = ckpt.to_bytes()
+    state = "exited" if done else "paused"
+    print(f"[{state} at {runtime.machine.instret} instructions: "
+          f"{len(ckpt.procs)} process(es), {ckpt.total_pages} page(s), "
+          f"{len(blob)} bytes, digest {ckpt.digest()[:16]}]",
+          file=sys.stderr)
+    if args.save:
+        with open(args.save, "wb") as handle:
+            handle.write(blob)
+    if args.verify:
+        from ..fuzz.differential import check_checkpoint
+
+        findings = check_checkpoint(image, points=(args.point,),
+                                    budget=args.max_insts,
+                                    timeslice=args.timeslice)
+        for finding in findings:
+            print(finding.line(), file=sys.stderr)
+        if findings:
+            print(f"FAILED: {len(findings)} finding(s)", file=sys.stderr)
+            return 1
+        print("VERIFIED: split run byte-identical to the uninterrupted "
+              "run", file=sys.stderr)
+    return 0
+
+
+def _cmd_migrate(args) -> int:
+    from ..cluster import Cluster
+    from ..elf.format import write_elf
+    from ..workloads.rtlib import busy_program
+
+    images = [
+        write_elf(compile_lfi(busy_program(v, args.target),
+                              options=_options_from(args)).elf)
+        for v in range(max(1, min(args.distinct, args.jobs)))
+    ]
+    batch = [images[i % len(images)] for i in range(args.jobs)]
+
+    def run(workers, migrate):
+        with Cluster(workers=workers, seed=args.seed,
+                     checkpoint_interval=args.interval) as cluster:
+            for program in batch:
+                cluster.submit(program)
+            if migrate:
+                cluster.migrate(0, 1)
+            results = cluster.drain()
+            return ([r.deterministic_key() for r in results],
+                    cluster.metrics_report(), cluster.fleet_report())
+
+    reference, ref_report, _ = run(1, migrate=False)
+    migrated, mig_report, fleet = run(max(2, args.workers), migrate=True)
+    print(f"[{args.jobs} jobs, migrations {fleet['migrations']}, "
+          f"checkpoints {fleet['checkpoints']}, "
+          f"restores {fleet['restores']}]", file=sys.stderr)
+    if args.out not in (None, "-"):
+        with open(args.out, "w") as handle:
+            handle.write(mig_report)
+    if (reference, ref_report) != (migrated, mig_report):
+        print("FAILED: migrated batch diverged from the single-worker "
+              "reference", file=sys.stderr)
+        return 1
+    print("VERIFIED: migrated batch byte-identical to the single-worker "
+          "reference", file=sys.stderr)
+    return 0
+
+
 def _cmd_disasm(args) -> int:
     with open(args.input, "rb") as handle:
         image = read_elf(handle.read())
@@ -401,6 +502,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persist shrunk failures into DIR")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-iteration stdout")
+    p.add_argument("--checkpoint-points", type=int, default=0,
+                   metavar="N",
+                   help="also run the checkpoint-transparency oracle at "
+                        "N seeded interruption points per program")
     p.set_defaults(func=_cmd_fuzz)
 
     def _add_workload_args(p) -> None:
@@ -454,6 +559,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cold", action="store_true",
                    help="disable warm spawn (cold load+verify per job)")
     p.set_defaults(func=_cmd_cluster)
+
+    p = sub.add_parser(
+        "checkpoint", parents=[OPT],
+        help="pause a sandbox, snapshot it, optionally verify the resume",
+    )
+    p.add_argument("input", help="sandbox ELF path, or a Table 4 "
+                                 "benchmark name with --bench")
+    p.add_argument("--bench", action="store_true",
+                   help="treat INPUT as a workload name and compile it")
+    p.add_argument("--target", type=int, default=60_000,
+                   help="target instruction count for --bench")
+    p.add_argument("--point", type=int, default=20_000,
+                   help="instructions to run before checkpointing")
+    p.add_argument("--timeslice", type=int, default=1_000,
+                   help="scheduler timeslice (determinism-neutral)")
+    p.add_argument("--max-insts", type=int, default=20_000_000,
+                   help="budget for full runs (reference and resume)")
+    p.add_argument("--save", metavar="PATH",
+                   help="write the serialized checkpoint to PATH")
+    p.add_argument("--restore", metavar="PATH",
+                   help="restore a saved checkpoint and run to completion "
+                        "instead of taking one")
+    p.add_argument("--verify", action="store_true",
+                   help="differentially verify: the split run must be "
+                        "byte-identical to the uninterrupted run")
+    p.set_defaults(func=_cmd_checkpoint)
+
+    p = sub.add_parser(
+        "migrate", parents=[OUT, SEED, OPT],
+        help="live-migrate a job mid-batch and verify byte-identity",
+    )
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes in the migrated run")
+    p.add_argument("--jobs", type=int, default=4,
+                   help="jobs in the batch")
+    p.add_argument("--distinct", type=int, default=2,
+                   help="distinct images in the batch")
+    p.add_argument("--target", type=int, default=300_000,
+                   help="target instructions per job")
+    p.add_argument("--interval", type=int, default=20_000,
+                   help="checkpoint interval (instructions)")
+    p.set_defaults(func=_cmd_migrate)
 
     p = sub.add_parser("disasm", help="disassemble an ELF text segment")
     p.add_argument("input")
