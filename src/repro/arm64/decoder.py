@@ -34,7 +34,7 @@ from .operands import (
 )
 from .registers import INDEX_31, Reg, V, gpr_or_sp, gpr_or_zr, vec
 
-__all__ = ["decode_word", "decode_text"]
+__all__ = ["decode_word", "decode_text", "decoder_names", "decoding_class"]
 
 _EXTEND_NAMES = ["uxtb", "uxth", "uxtw", "uxtx", "sxtb", "sxth", "sxtw", "sxtx"]
 _SHIFT_NAMES = ["lsl", "lsr", "asr", "ror"]
@@ -67,6 +67,24 @@ def decode_text(data: bytes, base: int = 0) -> List[Optional[Instruction]]:
         word = int.from_bytes(data[offset:offset + 4], "little")
         out.append(decode_word(word, base + offset))
     return out
+
+
+def decoder_names() -> List[str]:
+    """Encoding-group decoder names in dispatch order.
+
+    Class-space introspection for ``repro.prove``: each name corresponds
+    to one encoding template family the decoder recognizes.
+    """
+    return [fn.__name__.replace("_dec_", "", 1) for fn in _DECODERS]
+
+
+def decoding_class(word: int) -> Optional[str]:
+    """The name of the encoding group that claims this word, or None."""
+    word &= 0xFFFFFFFF
+    for decoder in _DECODERS:
+        if decoder(word, 0) is not None:
+            return decoder.__name__.replace("_dec_", "", 1)
+    return None
 
 
 # ---------------------------------------------------------------------------

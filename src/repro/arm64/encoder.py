@@ -34,7 +34,8 @@ from .operands import (
 )
 from .registers import INDEX_31, LR, Reg, SP, WSP, WZR, XZR
 
-__all__ = ["EncodeError", "encode_instruction", "encode_bitmask", "encode_fp8"]
+__all__ = ["EncodeError", "encode_instruction", "encode_bitmask",
+           "encode_fp8", "reencode_word"]
 
 
 class EncodeError(ValueError):
@@ -1206,3 +1207,20 @@ def _encode_vector(m: str, ops) -> int:
         | (rm.reg.index << 16) | (opcode << 11) | (1 << 10)
         | (rn.reg.index << 5) | rd.reg.index
     )
+
+
+def reencode_word(word: int, pc: int = 0) -> Optional[int]:
+    """Decode a word and encode the result back (round-trip probe).
+
+    Returns the re-encoded word, or None when the word is undecodable.
+    The enumerator in ``repro.prove`` rests on ``reencode_word(w) == w``
+    holding for every decodable word of a class: it guarantees the
+    decoded IR the verifier and the abstract interpreter agree on is a
+    faithful, canonical reading of the encoding.
+    """
+    from .decoder import decode_word
+
+    inst = decode_word(word, pc)
+    if inst is None:
+        return None
+    return encode_instruction(inst, pc)

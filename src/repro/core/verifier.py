@@ -43,16 +43,75 @@ __all__ = ["Violation", "VerificationResult", "VerifierPolicy", "Verifier",
            "verify_text", "verify_elf"]
 
 
+#: Ordered (substring, code) table mapping human-readable violation
+#: reasons to stable machine-readable codes.  First match wins, so more
+#: specific patterns come first.  Prover and fuzz tooling key on these
+#: codes instead of parsing prose.
+_REASON_CODES = (
+    ("undecodable instruction", "undecodable"),
+    ("text size not a multiple", "text-size"),
+    ("not on the safe list", "unsafe-mnemonic"),
+    ("disallowed by policy", "exclusives-disallowed"),
+    ("writeback would modify reserved register", "writeback-reserved"),
+    ("writeback would modify x21", "writeback-x21"),
+    ("register-offset addressing from sp", "sp-regoffset"),
+    ("sp displacement", "sp-displacement"),
+    ("register-offset addressing from", "regoffset-reserved"),
+    ("unsafe extend", "unsafe-extend"),
+    ("store through x21", "store-x21"),
+    ("negative displacement from x21", "x21-negative"),
+    ("x21 displacement", "x21-displacement"),
+    ("unsafe addressing from x21", "x21-addressing"),
+    ("displacement", "displacement"),
+    ("unguarded base register", "unguarded-base"),
+    ("load writes x21", "load-x21"),
+    ("load writes reserved register", "load-reserved"),
+    ("64-bit load writes x22", "load-x22-64"),
+    ("32-bit write to link register", "x30-32bit-write"),
+    ("load writes x30 without", "load-x30-unguarded"),
+    ("malformed indirect branch", "branch-malformed"),
+    ("indirect branch through unguarded", "branch-unguarded"),
+    ("write to x21", "write-x21"),
+    ("64-bit write to x22", "write-x22-64"),
+    ("modified by something other than the guard", "unguarded-write"),
+    ("sp arithmetic without a following sp access", "sp-arith-unclosed"),
+    ("unsafe sp modification", "sp-unsafe"),
+    ("memory instruction without memory operand", "malformed-memory"),
+)
+
+
 @dataclass(frozen=True)
 class Violation:
-    """One verification failure."""
+    """One verification failure.
+
+    ``disasm`` carries the decoded instruction's disassembly and ``mode``
+    the verifier policy label, so reports are actionable without
+    re-decoding the word or knowing which policy produced them.  Both
+    default to empty for compatibility with positional construction.
+    """
 
     address: int
     word: int
     reason: str
+    disasm: str = ""
+    mode: str = ""
+
+    @property
+    def code(self) -> str:
+        """Stable machine-readable code for the reason category."""
+        for pattern, code in _REASON_CODES:
+            if pattern in self.reason:
+                return code
+        return "other"
 
     def __str__(self) -> str:
-        return f"{self.address:#x}: {self.word:#010x}: {self.reason}"
+        text = f"{self.address:#x}: {self.word:#010x}: "
+        if self.disasm:
+            text += f"{self.disasm}: "
+        text += self.reason
+        if self.mode:
+            text += f" [{self.mode}]"
+        return text
 
 
 @dataclass(frozen=True)
@@ -71,6 +130,13 @@ class VerifierPolicy:
     #: fault-isolation-only mode, §6.1); stores, indirect branches, and all
     #: register invariants are still enforced.
     sandbox_loads: bool = True
+
+    def label(self) -> str:
+        """Short human-readable mode label for reports and violations."""
+        text = "sandbox" if self.sandbox_loads else "store-only"
+        if not self.allow_exclusives:
+            text += "+no-exclusives"
+        return text
 
 
 @dataclass
@@ -155,7 +221,7 @@ class Verifier:
                 self._fail(result, address, word, "undecodable instruction")
                 continue
             for reason in self._check(inst, decoded, i):
-                self._fail(result, address, word, reason)
+                self._fail(result, address, word, reason, inst=inst)
             result.instructions += 1
         result.bytes_verified = len(words) * 4
         return result
@@ -173,12 +239,28 @@ class Verifier:
             result.ok = result.ok and part.ok
         return result
 
+    def check_instruction(self, inst: Instruction,
+                          stream: Optional[Sequence[Optional[Instruction]]]
+                          = None, index: int = 0) -> List[str]:
+        """Per-instruction check entry point (used by ``repro.prove``).
+
+        Returns the violation reasons for ``inst`` at position ``index``
+        of ``stream`` (default: the instruction alone).  Empty list means
+        the verifier accepts the instruction in that context.
+        """
+        if stream is None:
+            stream = [inst]
+        return list(self._check(inst, stream, index))
+
     # -- checks ---------------------------------------------------------------
 
     def _fail(self, result: VerificationResult, address: int, word: int,
-              reason: str) -> None:
+              reason: str, inst: Optional[Instruction] = None) -> None:
         result.ok = False
-        result.violations.append(Violation(address, word, reason))
+        result.violations.append(Violation(
+            address, word, reason,
+            disasm=str(inst) if inst is not None else "",
+            mode=self.policy.label()))
 
     def _check(self, inst: Instruction,
                stream: Sequence[Optional[Instruction]], i: int):
@@ -375,7 +457,13 @@ class Verifier:
         small = False
         if m in ("add", "sub") and len(inst.operands) == 3:
             rd, rn, src = inst.operands
+            # The 64-bit check matters: a 32-bit `add wsp, wsp, #imm`
+            # truncates sp to its low 32 bits — an absolute address far
+            # outside the sandbox — so it is never a "small drift"
+            # (found by the ``repro.prove`` symbolic executor; pinned as
+            # the ``sp-arith-32bit`` corpus entry).
             small = (isinstance(rn, Reg) and rn.is_sp
+                     and rd.bits == 64
                      and isinstance(src, Imm)
                      and 0 <= src.value < SP_SMALL_IMM)
         if self._sp_reestablished(stream, i, allow_access=small):
@@ -391,7 +479,15 @@ class Verifier:
         """Scan forward: the sp invariant is restored if we reach the sp
         guard (``mov w22, wsp; add sp, x21, x22``) — or, for small drifts,
         a trapping sp-based memory access — before any branch or other sp
-        modification (the §4.2 same-basic-block rules)."""
+        modification (the §4.2 same-basic-block rules).
+
+        The re-establishing access must itself use a *small* immediate:
+        an access at ``sp + d`` only pins sp within ``|d|`` of the mapped
+        region, so accepting an arbitrary in-guard displacement here
+        would let sp drift by up to ``max_displacement`` per window and
+        walk out of the guard band over enough windows (found by the
+        ``repro.prove`` symbolic executor; pinned as the
+        ``sp-arith-large-offset`` corpus entry)."""
         for nxt in stream[i + 1:]:
             if nxt is None:
                 return False
@@ -400,7 +496,9 @@ class Verifier:
             mem = nxt.mem
             if mem is not None and mem.base.is_sp:
                 if allow_access:
-                    return mem.offset is None or isinstance(mem.offset, Imm)
+                    return ((mem.offset is None
+                             or isinstance(mem.offset, Imm))
+                            and abs(mem.imm_value) < SP_SMALL_IMM)
                 return False
             if any(d.is_sp for d in nxt.defs()):
                 return False

@@ -130,3 +130,15 @@ class CpuState:
         self.pc = snap["pc"]
         self.nzcv = snap["nzcv"]
         self.vregs[:] = snap["vregs"]
+
+    def clone(self) -> "CpuState":
+        """An independent copy of the full state (differential probes).
+
+        Unlike :meth:`snapshot`, includes ``exclusive_addr`` — the probe
+        compares complete pre/post states, not just the context-switch
+        view.
+        """
+        other = CpuState()
+        other.restore(self.snapshot())
+        other.exclusive_addr = self.exclusive_addr
+        return other

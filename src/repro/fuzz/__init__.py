@@ -29,7 +29,15 @@ Everything is deterministic: one seed produces one byte-identical log.
 """
 
 from .campaign import CampaignStats, FuzzCampaign
-from .corpus import CorpusEntry, load_corpus, replay_corpus, save_entry
+from .corpus import (
+    CorpusEntry,
+    entry_from_words,
+    load_corpus,
+    policy_dict,
+    replay_corpus,
+    save_entry,
+)
+from .shrink import shrink_mutations, shrink_program, shrink_words
 from .differential import (
     CHECKPOINT_POINTS,
     Finding,
@@ -60,10 +68,15 @@ __all__ = [
     "apply_mutations",
     "check_completeness",
     "check_semantics",
+    "entry_from_words",
     "load_corpus",
+    "policy_dict",
     "replay_corpus",
     "rewrite_to_elf",
     "run_elf_in_slot",
     "save_entry",
+    "shrink_mutations",
+    "shrink_program",
+    "shrink_words",
     "soundness_probe",
 ]

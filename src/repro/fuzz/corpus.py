@@ -33,8 +33,8 @@ from .differential import (
     soundness_probe,
 )
 
-__all__ = ["CorpusEntry", "entry_elf", "load_corpus", "replay_corpus",
-           "save_entry"]
+__all__ = ["CorpusEntry", "entry_elf", "entry_from_words", "load_corpus",
+           "policy_dict", "replay_corpus", "save_entry"]
 
 #: Default corpus location, relative to the repository root.
 DEFAULT_CORPUS = Path(__file__).resolve().parents[3] / "tests" / "corpus"
@@ -42,6 +42,10 @@ DEFAULT_CORPUS = Path(__file__).resolve().parents[3] / "tests" / "corpus"
 #: Assembler text base: machine entries place their text here so offsets
 #: match what the live campaign verified.
 TEXT_BASE = 0x0004_0000
+
+#: ``brk #0`` — appended to word-built machine entries so replay halts
+#: deterministically if the verifier were ever to accept them.
+BRK_WORD = 0xD420_0000
 
 
 @dataclass
@@ -80,6 +84,42 @@ class CorpusEntry:
 
     def verifier_policy(self) -> VerifierPolicy:
         return VerifierPolicy(**self.policy)
+
+
+def policy_dict(policy: Optional[VerifierPolicy]) -> Dict[str, object]:
+    """The non-default fields of a policy, as a JSON-able dict."""
+    if policy is None:
+        return {}
+    default = VerifierPolicy()
+    return {
+        name: getattr(policy, name)
+        for name in ("allow_exclusives", "max_displacement", "sandbox_loads")
+        if getattr(policy, name) != getattr(default, name)
+    }
+
+
+def entry_from_words(name: str, words: List[int],
+                     policy: Optional[VerifierPolicy] = None,
+                     description: str = "", expect: str = "reject",
+                     source: str = "") -> CorpusEntry:
+    """A ``machine`` corpus entry from raw instruction words.
+
+    Appends :data:`BRK_WORD` so an (unexpectedly) accepted entry halts
+    rather than running off the end of its text; ``policy`` round-trips
+    through :func:`policy_dict` so replay verifies under the same mode
+    the words were found in.
+    """
+    text = b"".join((w & 0xFFFFFFFF).to_bytes(4, "little")
+                    for w in list(words) + [BRK_WORD])
+    entry = CorpusEntry(
+        name=name, kind="machine", expect=expect,
+        description=description, text_hex=text.hex(),
+        policy=policy_dict(policy),
+    )
+    if source:
+        entry.description = (f"{description} [{source}]" if description
+                             else f"[{source}]")
+    return entry
 
 
 def entry_elf(entry: CorpusEntry) -> ElfImage:

@@ -22,7 +22,7 @@ from typing import Callable, List, Sequence
 from .genasm import GeneratedProgram
 from .mutate import Mutation
 
-__all__ = ["shrink_program", "shrink_mutations"]
+__all__ = ["shrink_program", "shrink_mutations", "shrink_words"]
 
 #: Cap on predicate evaluations per shrink (each evaluation may rebuild and
 #: re-run a program at four opt levels).
@@ -68,6 +68,29 @@ def shrink_mutations(mutations: Sequence[Mutation],
     probes = 0
     i = 0
     while i < len(current) and len(current) > 1 and probes < MAX_PROBES:
+        candidate = current[:i] + current[i + 1:]
+        probes += 1
+        if fails(candidate):
+            current = candidate
+        else:
+            i += 1
+    return current
+
+
+def shrink_words(words: Sequence[int],
+                 fails: Callable[[List[int]], bool],
+                 max_probes: int = MAX_PROBES) -> List[int]:
+    """Smallest subsequence of machine-code ``words`` still failing.
+
+    Drop-one-at-a-time over raw 32-bit instruction words — the unit the
+    ``repro.prove`` counterexample bridge works in.  The predicate sees
+    the surviving words in their original order, so context-sensitive
+    verifier rules (guards, runtime-call pairs) keep their adjacency.
+    """
+    current = list(words)
+    probes = 0
+    i = 0
+    while i < len(current) and len(current) > 1 and probes < max_probes:
         candidate = current[:i] + current[i + 1:]
         probes += 1
         if fails(candidate):

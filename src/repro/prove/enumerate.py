@@ -1,0 +1,384 @@
+"""Instruction-class enumeration over the decoder's encodable space.
+
+Each :class:`InstructionClass` names one encoding template from
+``arm64/decoder.py``: a set of pinned bits (bits the class decoder
+requires structurally — anything outside the template is a different
+class or undecodable) plus free fields enumerated exhaustively.  One
+field per class may be designated *symbolic* (``sym``): the driver then
+enumerates only the concrete "shapes" (the product of the other fields)
+and runs the decoder/verifier once per shape with the symbolic field as
+an affine interval, splitting on demand (DESIGN.md §13).
+
+Words inside a class space that the decoder rejects (undecodable
+sub-encodings, non-canonical forms) are *counted and skipped* — the
+verifier rejects undecodable words by construction, so they discharge
+trivially.  The registry's class spaces are pairwise disjoint (distinct
+pinned signature bits), and their union is exactly the per-class spaces
+the round-trip property suite samples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+from .absdomain import SymInt, SymWord
+
+__all__ = ["Field", "InstructionClass", "CLASSES", "class_by_name",
+           "default_classes", "nightly_classes"]
+
+
+@dataclass(frozen=True)
+class Field:
+    """One free bit field of an encoding template."""
+
+    name: str
+    lo: int      # lowest bit position
+    width: int
+    #: Explicit value list; None means the full 0..2**width-1 range.
+    values: Optional[Tuple[int, ...]] = None
+
+    def domain(self) -> Sequence[int]:
+        if self.values is not None:
+            return self.values
+        return range(1 << self.width)
+
+    @property
+    def mask(self) -> int:
+        return ((1 << self.width) - 1) << self.lo
+
+
+@dataclass(frozen=True)
+class InstructionClass:
+    """One encoding template plus its free fields."""
+
+    name: str
+    description: str
+    template: int
+    fields: Tuple[Field, ...]
+    #: Name of the field to treat symbolically in shape mode, or None for
+    #: concrete-only classes (no immediate worth abstracting).
+    sym: Optional[str] = None
+    #: Part of the default `repro.tools prove` run (fast classes); the
+    #: rest are covered by the nightly CI matrix.
+    default: bool = True
+
+    def __post_init__(self):
+        covered = 0
+        for f in self.fields:
+            if covered & f.mask:
+                raise ValueError(f"{self.name}: overlapping field {f.name}")
+            if self.template & f.mask:
+                raise ValueError(
+                    f"{self.name}: template sets bits of field {f.name}")
+            covered |= f.mask
+        if self.sym is not None and self.sym_field is None:
+            raise ValueError(f"{self.name}: unknown sym field {self.sym}")
+
+    @property
+    def sym_field(self) -> Optional[Field]:
+        for f in self.fields:
+            if f.name == self.sym:
+                return f
+        return None
+
+    def shape_fields(self) -> Tuple[Field, ...]:
+        return tuple(f for f in self.fields if f.name != self.sym)
+
+    def space(self) -> int:
+        """Total number of words in the class space."""
+        n = 1
+        for f in self.fields:
+            n *= len(f.domain())
+        return n
+
+    def shape_count(self) -> int:
+        n = 1
+        for f in self.shape_fields():
+            n *= len(f.domain())
+        return n
+
+    def shapes(self) -> Iterator[int]:
+        """All shape words (symbolic field bits zero)."""
+        fields = self.shape_fields()
+        for combo in itertools.product(*(f.domain() for f in fields)):
+            word = self.template
+            for f, v in zip(fields, combo):
+                word |= v << f.lo
+            yield word
+
+    def words(self) -> Iterator[int]:
+        """The full concrete class space."""
+        for combo in itertools.product(*(f.domain() for f in self.fields)):
+            word = self.template
+            for f, v in zip(self.fields, combo):
+                word |= v << f.lo
+            yield word
+
+    def sym_word(self, shape: int, flo: int, fhi: int) -> SymWord:
+        """A symbolic word for one shape over a field sub-interval."""
+        f = self.sym_field
+        if f is None:
+            raise ValueError(f"{self.name} has no symbolic field")
+        if flo == fhi:
+            raise ValueError("degenerate interval; use a concrete word")
+        return SymWord(shape, f.lo, f.width, SymInt(1, 0, flo, fhi))
+
+    def contains(self, word: int) -> bool:
+        """Is this word inside the class space (template + field values)?"""
+        free = 0
+        for f in self.fields:
+            free |= f.mask
+            if f.values is not None and ((word & f.mask) >> f.lo) \
+                    not in f.values:
+                return False
+        return (word & ~free & 0xFFFFFFFF) == self.template
+
+
+_R5 = None  # full 5-bit register field shorthand (values=None)
+
+CLASSES: Tuple[InstructionClass, ...] = (
+    InstructionClass(
+        name="branch-reg",
+        description="br/blr/ret indirect branches (the branch-target "
+                    "invariant class)",
+        template=0xD61F0000,
+        fields=(
+            Field("opc", 21, 4),
+            Field("rn", 5, 5),
+        ),
+    ),
+    InstructionClass(
+        name="ldst-post",
+        description="post-index loads/stores, imm9 writeback (the class "
+                    "that hid the PR-2 store-only writeback hole)",
+        template=0x38000400,
+        fields=(
+            Field("size", 30, 2),
+            Field("v", 26, 1),
+            Field("opc", 22, 2),
+            Field("imm9", 12, 9),
+            Field("rn", 5, 5),
+            Field("rt", 0, 5),
+        ),
+        sym="imm9",
+    ),
+    InstructionClass(
+        name="ldst-pre",
+        description="pre-index loads/stores, imm9 writeback",
+        template=0x38000C00,
+        fields=(
+            Field("size", 30, 2),
+            Field("v", 26, 1),
+            Field("opc", 22, 2),
+            Field("imm9", 12, 9),
+            Field("rn", 5, 5),
+            Field("rt", 0, 5),
+        ),
+        sym="imm9",
+    ),
+    InstructionClass(
+        name="ldst-unsigned",
+        description="unsigned scaled-offset loads/stores (imm12)",
+        template=0x39000000,
+        fields=(
+            Field("size", 30, 2),
+            Field("v", 26, 1),
+            Field("opc", 22, 2),
+            Field("imm12", 10, 12),
+            Field("rn", 5, 5),
+            Field("rt", 0, 5),
+        ),
+        sym="imm12",
+    ),
+    InstructionClass(
+        name="addsub-imm",
+        description="add/sub immediate (covers reserved-register writes "
+                    "and the sp small-arithmetic rule)",
+        template=0x11000000,
+        fields=(
+            Field("sf", 31, 1),
+            Field("op", 30, 1),
+            Field("S", 29, 1),
+            Field("sh", 22, 1),
+            Field("imm12", 10, 12),
+            Field("rn", 5, 5),
+            Field("rd", 0, 5),
+        ),
+        sym="imm12",
+    ),
+    InstructionClass(
+        name="movewide",
+        description="movz/movn/movk wide moves (imm16)",
+        template=0x12800000,
+        fields=(
+            Field("sf", 31, 1),
+            Field("opc", 29, 2),
+            Field("hw", 21, 2),
+            Field("imm16", 5, 16),
+            Field("rd", 0, 5),
+        ),
+        sym="imm16",
+    ),
+    InstructionClass(
+        name="branch-imm",
+        description="b/bl direct branches (imm26; contained by the "
+                    "code keep-out, DESIGN.md §13)",
+        template=0x14000000,
+        fields=(
+            Field("op", 31, 1),
+            Field("imm26", 0, 26),
+        ),
+        sym="imm26",
+    ),
+    InstructionClass(
+        name="branch-cond",
+        description="b.cond conditional branches (imm19)",
+        template=0x54000000,
+        fields=(
+            Field("imm19", 5, 19),
+            Field("cond", 0, 4),
+        ),
+        sym="imm19",
+    ),
+    InstructionClass(
+        name="cb",
+        description="cbz/cbnz compare-and-branch (imm19)",
+        template=0x34000000,
+        fields=(
+            Field("sf", 31, 1),
+            Field("op", 24, 1),
+            Field("imm19", 5, 19),
+            Field("rt", 0, 5),
+        ),
+        sym="imm19",
+    ),
+    InstructionClass(
+        name="tb",
+        description="tbz/tbnz test-bit-and-branch (imm14)",
+        template=0x36000000,
+        fields=(
+            Field("b5", 31, 1),
+            Field("op", 24, 1),
+            Field("b40", 19, 5),
+            Field("imm14", 5, 14),
+            Field("rt", 0, 5),
+        ),
+        sym="imm14",
+    ),
+    InstructionClass(
+        name="ldst-unscaled",
+        description="ldur/stur unscaled-offset loads/stores (imm9; "
+                    "canonicality is immediate-dependent)",
+        template=0x38000000,
+        fields=(
+            Field("size", 30, 2),
+            Field("v", 26, 1),
+            Field("opc", 22, 2),
+            Field("imm9", 12, 9),
+            Field("rn", 5, 5),
+            Field("rt", 0, 5),
+        ),
+        sym="imm9",
+        default=False,
+    ),
+    InstructionClass(
+        name="logical-reg0",
+        description="unshifted register logical ops incl. the mov alias "
+                    "(the mov-then-guard x30 pattern)",
+        template=0x0A000000,
+        fields=(
+            Field("sf", 31, 1),
+            Field("opc", 29, 2),
+            Field("N", 21, 1),
+            Field("rm", 16, 5),
+            Field("rn", 5, 5),
+            Field("rd", 0, 5),
+        ),
+        default=False,
+    ),
+    InstructionClass(
+        name="addsub-ext",
+        description="add/sub extended-register (the guard instruction's "
+                    "own class)",
+        template=0x0B200000,
+        fields=(
+            Field("sf", 31, 1),
+            Field("op", 30, 1),
+            Field("S", 29, 1),
+            Field("rm", 16, 5),
+            Field("option", 13, 3),
+            Field("imm3", 10, 3),
+            Field("rn", 5, 5),
+            Field("rd", 0, 5),
+        ),
+        default=False,
+    ),
+    InstructionClass(
+        name="ldst-regoffset",
+        description="register-offset loads/stores incl. the "
+                    "zero-instruction guard addressing mode",
+        template=0x38200800,
+        fields=(
+            Field("size", 30, 2),
+            Field("v", 26, 1),
+            Field("opc", 22, 2),
+            Field("rm", 16, 5),
+            Field("option", 13, 3),
+            Field("S", 12, 1),
+            Field("rn", 5, 5),
+            Field("rt", 0, 5),
+        ),
+        default=False,
+    ),
+    InstructionClass(
+        name="ldst-pair",
+        description="ldp/stp register pairs (imm7, all index modes)",
+        template=0x28000000,
+        fields=(
+            Field("opc", 30, 2),
+            Field("v", 26, 1),
+            Field("mode", 23, 2),
+            Field("load", 22, 1),
+            Field("imm7", 15, 7),
+            Field("rt2", 10, 5),
+            Field("rn", 5, 5),
+            Field("rt", 0, 5),
+        ),
+        sym="imm7",
+        default=False,
+    ),
+    InstructionClass(
+        name="exclusive",
+        description="load/store exclusive and acquire/release "
+                    "(rt2 pinned to 31 as the decoder requires)",
+        template=0x08007C00,
+        fields=(
+            Field("size", 30, 2),
+            Field("o2", 23, 1),
+            Field("L", 22, 1),
+            Field("rs", 16, 5),
+            Field("o0", 15, 1),
+            Field("rn", 5, 5),
+            Field("rt", 0, 5),
+        ),
+        default=False,
+    ),
+)
+
+
+def class_by_name(name: str) -> InstructionClass:
+    for cls in CLASSES:
+        if cls.name == name:
+            return cls
+    known = ", ".join(c.name for c in CLASSES)
+    raise KeyError(f"unknown instruction class {name!r} (known: {known})")
+
+
+def default_classes() -> Tuple[InstructionClass, ...]:
+    return tuple(c for c in CLASSES if c.default)
+
+
+def nightly_classes() -> Tuple[InstructionClass, ...]:
+    return tuple(c for c in CLASSES if not c.default)

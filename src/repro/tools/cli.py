@@ -146,6 +146,65 @@ def _cmd_fuzz(args) -> int:
     return 0
 
 
+def _cmd_prove(args) -> int:
+    import json as _json
+
+    from ..fuzz.corpus import save_entry
+    from ..prove import (
+        class_by_name,
+        counterexample_entry,
+        default_classes,
+        nightly_classes,
+        prove_class,
+        render_reports,
+    )
+
+    if args.list:
+        for cls in default_classes() + nightly_classes():
+            tier = "default" if cls in default_classes() else "nightly"
+            print(f"{cls.name:<16} space={cls.space():<12} [{tier}]")
+        return 0
+
+    if args.classes:
+        try:
+            classes = [class_by_name(name) for name in args.classes]
+        except KeyError as exc:
+            raise ReproError(exc.args[0]) from None
+    elif args.all:
+        classes = default_classes() + nightly_classes()
+    else:
+        classes = default_classes()
+
+    policies = {
+        "sandbox": [VerifierPolicy()],
+        "store-only": [VerifierPolicy(sandbox_loads=False)],
+        "both": [VerifierPolicy(), VerifierPolicy(sandbox_loads=False)],
+    }[args.policy]
+
+    reports = []
+    for cls in classes:
+        for policy in policies:
+            reports.append(prove_class(
+                cls, policy=policy, mode=args.mode, limit=args.limit,
+                cross_check=args.cross_check, probe=args.probe,
+                seed=args.seed))
+
+    if args.save_corpus:
+        for report in reports:
+            policy = (VerifierPolicy() if report.policy == "sandbox"
+                      else VerifierPolicy(sandbox_loads=False))
+            for cx in report.counterexamples:
+                path = save_entry(counterexample_entry(cx, policy),
+                                  args.save_corpus)
+                print(f"saved {path}", file=sys.stderr)
+
+    text = (_json.dumps([r.to_dict() for r in reports], indent=2,
+                        sort_keys=True) + "\n"
+            if args.json else render_reports(reports))
+    _write_text(args.out, text)
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def _spawn_workload(args, setup=None):
     """(runtime, proc, rewrite_stats) for an ELF path or ``--bench`` name.
 
@@ -601,6 +660,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interval", type=int, default=20_000,
                    help="checkpoint interval (instructions)")
     p.set_defaults(func=_cmd_migrate)
+
+    p = sub.add_parser(
+        "prove", parents=[OUT, SEED],
+        help="exhaustively prove the verifier sound over encoding classes",
+    )
+    p.add_argument("--class", dest="classes", action="append",
+                   metavar="NAME",
+                   help="instruction class to prove (repeatable; "
+                        "default: every default-tier class)")
+    p.add_argument("--all", action="store_true",
+                   help="prove the nightly-tier classes too")
+    p.add_argument("--list", action="store_true",
+                   help="list known classes and exit")
+    p.add_argument("--mode", choices=("auto", "shapes", "words"),
+                   default="auto",
+                   help="enumeration strategy (auto: symbolic shapes for "
+                        "large classes)")
+    p.add_argument("--policy", choices=("sandbox", "store-only", "both"),
+                   default="both",
+                   help="verifier policy/policies to prove under")
+    p.add_argument("--limit", type=int, default=None,
+                   help="truncate each class after N shapes/words "
+                        "(report marked TRUNCATED)")
+    p.add_argument("--cross-check", type=int, default=0, metavar="N",
+                   help="re-analyze N seeded shapes concretely and "
+                        "compare against the symbolic verdicts")
+    p.add_argument("--probe", type=int, default=0, metavar="N",
+                   help="single-step N accepted words on the emulator "
+                        "and check the abstract hulls")
+    p.add_argument("--save-corpus", default=None, metavar="DIR",
+                   help="persist shrunk counterexamples into DIR")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON reports")
+    p.set_defaults(func=_cmd_prove)
 
     p = sub.add_parser("disasm", help="disassemble an ELF text segment")
     p.add_argument("input")

@@ -252,6 +252,85 @@ class TestRegisterWrites:
         assert _reasons(["bl _start"]) == []
 
 
+class TestProverFoundSpHoles:
+    """Regressions for the two sp soundness holes ``repro.prove`` found
+    (DESIGN.md §13), pinned as the ``sp-arith-large-offset`` and
+    ``sp-arith-32bit`` corpus entries."""
+
+    def test_large_offset_close_rejected(self):
+        # Pre-fix: any in-guard displacement closed an sp window, but an
+        # access at sp+2000 only pins sp within 2000 of the mapped
+        # region, so chained windows could walk sp past the guard band.
+        _assert_reason(["sub sp, sp, #16", "str x0, [sp, #2000]"],
+                       "sp arithmetic without a following sp access")
+
+    def test_small_offset_close_still_ok(self):
+        assert _reasons(["sub sp, sp, #16", "str x0, [sp, #1000]"]) == []
+
+    def test_32bit_sp_arithmetic_rejected(self):
+        # add wsp, wsp, #0 truncates sp to its low 32 bits — an absolute
+        # address outside the sandbox — yet matched the pre-fix
+        # small-drift pattern.  Raw words: the assembler has no wsp
+        # spelling.
+        data = b"".join(w.to_bytes(4, "little")
+                        for w in (0x110003FF, 0xF90003E0))
+        result = verify_text(data)
+        assert not result.ok
+        assert any("unsafe sp modification" in v.reason
+                   for v in result.violations)
+
+    def test_corpus_entries_replay_clean(self):
+        from repro.fuzz.corpus import DEFAULT_CORPUS, load_corpus, \
+            replay_entry
+
+        entries = {e.name: e for e in load_corpus(DEFAULT_CORPUS)}
+        for name in ("sp-arith-large-offset", "sp-arith-32bit",
+                     "noloads-writeback-x21"):
+            assert name in entries, f"corpus entry {name} missing"
+            assert replay_entry(entries[name]) == []
+
+
+class TestViolationMetadata:
+    """ISSUE 7 satellite: violations carry disassembly, the policy mode,
+    and a stable machine-readable code."""
+
+    def _one_violation(self, body, **policy):
+        lines = [body] if isinstance(body, str) else list(body)
+        source = ".text\n.globl _start\n_start:\n" + "".join(
+            f"    {line}\n" for line in lines)
+        elf = build_elf(assemble(parse_assembly(source)))
+        result = Verifier(VerifierPolicy(**policy)).verify_elf(elf)
+        assert result.violations
+        return result.violations[0]
+
+    def test_violation_carries_disasm_and_mode(self):
+        v = self._one_violation("ldr x0, [x21], #8", sandbox_loads=False)
+        assert v.disasm == "ldr x0, [x21], #8"
+        assert v.mode == "store-only"
+        assert v.code == "writeback-reserved"
+        text = str(v)
+        assert "ldr x0, [x21], #8" in text
+        assert "[store-only]" in text
+        assert f"{v.word:#010x}" in text
+
+    def test_default_policy_mode_label(self):
+        v = self._one_violation("br x5")
+        assert v.mode == "sandbox"
+        assert v.code == "branch-unguarded"
+
+    def test_undecodable_violation_has_no_disasm(self):
+        result = verify_text(b"\xff\xff\xff\xff")
+        v = result.violations[0]
+        assert v.disasm == ""
+        assert v.code == "undecodable"
+
+    def test_every_reason_code_is_unique(self):
+        from repro.core.verifier import _REASON_CODES
+
+        codes = [code for _, code in _REASON_CODES]
+        assert len(codes) == len(set(codes))
+
+
 class TestStackPointer:
     def test_sp_arithmetic_without_access(self):
         _assert_reason(["sub sp, sp, #16", "ret"],
