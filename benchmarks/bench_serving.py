@@ -1,0 +1,305 @@
+"""Open-loop overload serving benchmark (DESIGN.md §14) — BENCH_PR8.json.
+
+The serving gateway's contract under overload, measured in virtual time
+(1 virtual second = 1M emulated instructions; lanes run ``model=None``
+runtimes so the schedule is deterministic and CI-host independent):
+
+* **SLA under 2x load** — with offered load ~2x the fleet's execution
+  capacity, the gold tenants (priority 0) keep p99 latency within their
+  SLA while the bronze bulk (priority 2) absorbs the shedding;
+* **explicit backpressure** — every shed request carries a typed reason
+  (``throttled``/``queue-full``), and the waiting depth never exceeds
+  the sum of the per-tenant queue limits: overload cannot grow an
+  unbounded queue by construction;
+* **goodput** — instructions completed per virtual second stay >= 90%
+  of the batch cluster's drain throughput at the same worker count
+  (the admission layer does not tax execution);
+* **hot-reload** — a policy reload under a monotonic token lands on a
+  *running* guest at its next chunk boundary: the guest keeps its pid
+  and slot across the reload and completes cleanly.
+
+Run:  python benchmarks/bench_serving.py --out BENCH_PR8.json
+"""
+
+import pytest
+
+from repro.elf.format import write_elf
+from repro.serve import (
+    CLOCK_HZ,
+    Gateway,
+    TenantLoad,
+    TenantPolicy,
+    percentile,
+    run_loadgen,
+)
+from repro.toolchain import compile_lfi
+from repro.workloads.rtlib import busy_program
+
+
+def overload_fleet(lanes: int, factor: float = 2.0):
+    """Policies + loads offering ``factor`` x the fleet's capacity.
+
+    Capacity is ``lanes`` x 1M instructions per virtual second.  Gold
+    offers a modest, SLA-bearing trickle; bronze offers the bulk, far
+    beyond what its token buckets and queue bounds will admit.
+    """
+    capacity = lanes * CLOCK_HZ
+    gold_rate = 0.075 * capacity / 3000      # 2 tenants -> 15% of capacity
+    bronze_offer = (factor * capacity - 2 * gold_rate * 3000) / (2 * 5000)
+    policies = {
+        "gold-a": TenantPolicy(priority=0, rate=gold_rate * 1.5, burst=8.0,
+                               queue_limit=16, sla_s=0.05,
+                               quota={"max_instructions": 50_000}),
+        "gold-b": TenantPolicy(priority=0, rate=gold_rate * 1.5, burst=8.0,
+                               queue_limit=16, sla_s=0.05,
+                               quota={"max_instructions": 50_000}),
+        # bronze-a's bucket admits well under what the fleet could run
+        # for it (token-bucket throttling does its shedding); bronze-b's
+        # bucket is generous, so its bounded queue does the shedding.
+        # Together the two exercise both explicit rejection reasons.
+        "bronze-a": TenantPolicy(priority=2, rate=0.2 * capacity / 5000,
+                                 burst=16.0, queue_limit=8),
+        "bronze-b": TenantPolicy(priority=2, rate=0.6 * capacity / 5000,
+                                 burst=16.0, queue_limit=8),
+    }
+    loads = [
+        TenantLoad("gold-a", rate=gold_rate, target_instructions=3000,
+                   value=1),
+        TenantLoad("gold-b", rate=gold_rate, target_instructions=3000,
+                   value=2),
+        TenantLoad("bronze-a", rate=bronze_offer,
+                   target_instructions=5000, value=3),
+        TenantLoad("bronze-b", rate=bronze_offer,
+                   target_instructions=5000, value=4),
+    ]
+    offered = 2 * gold_rate * 3000 + 2 * bronze_offer * 5000
+    return policies, loads, offered / capacity
+
+
+def serving_point(lanes: int, duration: float, seed: int,
+                  factor: float = 2.0) -> dict:
+    """One overload serving run; returns the gated statistics."""
+    policies, loads, offered_x = overload_fleet(lanes, factor)
+    gateway = Gateway(policies, lanes=lanes, checkpoint_interval=2000,
+                      seed=seed)
+    results = run_loadgen(gateway, loads, duration, seed=seed)
+
+    ok = [r for r in results if r.status == "ok"]
+    shed = [r for r in results if r.status == "rejected"]
+    reasons = {}
+    for r in shed:
+        reasons[r.reason] = reasons.get(r.reason, 0) + 1
+    tenants = {}
+    for tenant, policy in policies.items():
+        latencies = [r.latency_s for r in ok if r.tenant == tenant]
+        tenants[tenant] = {
+            "priority": policy.priority,
+            "sla_s": policy.sla_s,
+            "completed": len(latencies),
+            "p50_s": round(percentile(latencies, 50), 6),
+            "p99_s": round(percentile(latencies, 99), 6),
+        }
+    completed_instructions = sum(r.instructions for r in ok)
+    last_finish = max((r.finish_s for r in ok), default=duration)
+    queue_bound = sum(p.queue_limit for p in policies.values())
+    return {
+        "lanes": lanes,
+        "duration_vs": duration,
+        "offered_x_capacity": round(offered_x, 3),
+        "offered": len(results),
+        "completed": len(ok),
+        "shed": len(shed),
+        "shed_reasons": dict(sorted(reasons.items())),
+        "tenants": tenants,
+        "completed_instructions": completed_instructions,
+        "goodput_ipvs": round(completed_instructions / last_finish, 1),
+        "peak_queued": gateway.peak_queued,
+        "queue_bound": queue_bound,
+    }
+
+
+def drain_baseline(workers: int, jobs: int, target: int = 5000) -> dict:
+    """The batch cluster's drain throughput at the same worker count.
+
+    Virtual makespan = the largest per-worker emulated-cycle total
+    (model=None ties cycles to instret), exactly as bench_scaling gates
+    scale-out; throughput is instructions per virtual second at the
+    serving clock.
+    """
+    from collections import defaultdict
+
+    from repro.cluster import Cluster
+    from repro.workloads.rtlib import busy_program as busy
+
+    program = write_elf(compile_lfi(busy(1, target)).elf)
+    with Cluster(workers=workers) as cluster:
+        for _ in range(jobs):
+            cluster.submit(program)
+        results = cluster.drain()
+    per_worker = defaultdict(int)
+    total = 0
+    for r in results:
+        per_worker[r.diag["worker"]] += int(r.diag["cycles"])
+        total += int(r.diag["instructions"])
+    makespan = max(per_worker.values())
+    return {
+        "workers": workers,
+        "jobs": jobs,
+        "total_instructions": total,
+        "makespan_cycles": makespan,
+        "throughput_ipvs": round(total * CLOCK_HZ / makespan, 1),
+    }
+
+
+def reload_proof(seed: int) -> dict:
+    """Reload policy onto a running guest; prove no restart happened."""
+    policies = {"gold": TenantPolicy(priority=0, rate=40.0,
+                                     quota={"max_instructions": 80_000})}
+    gateway = Gateway(policies, lanes=1, checkpoint_interval=2000,
+                      seed=seed)
+    image = write_elf(compile_lfi(busy_program(9, 40_000)).elf)
+    request = gateway.offer("gold", image, at=0.0)
+    gateway.reload("gold", TenantPolicy(priority=0, rate=40.0,
+                                        quota={"max_instructions": 60_000}),
+                   token=1, at=0.011)
+    result = gateway.drain()[0]
+    applied = [line for line in gateway.log if " apply-policy " in line]
+    return {
+        "request": request,
+        "applied_log": applied[0] if applied else None,
+        "pid": result.pid,
+        "slot": result.slot,
+        "exit_code": result.exit_code,
+        "status": result.status,
+        "pid_slot_unchanged": bool(
+            applied
+            and f"pid={result.pid}" in applied[0]
+            and f"slot={hex(result.slot)}" in applied[0]),
+        "completed_clean": result.status == "ok"
+        and result.exit_code == 9,
+    }
+
+
+# -- tier-1 smoke (small scale, the qualitative shape) -----------------------
+
+
+def test_overload_sheds_bronze_keeps_gold_sla():
+    point = serving_point(lanes=2, duration=0.25, seed=7)
+    assert point["shed"] > 0, "2x load must shed"
+    assert set(point["shed_reasons"]) <= {"throttled", "queue-full",
+                                          "deadline"}
+    for tenant, stats in point["tenants"].items():
+        if stats["sla_s"] is not None and stats["completed"]:
+            assert stats["p99_s"] <= stats["sla_s"], tenant
+    assert point["peak_queued"] <= point["queue_bound"]
+
+
+def test_reload_lands_on_running_guest():
+    proof = reload_proof(seed=3)
+    assert proof["pid_slot_unchanged"]
+    assert proof["completed_clean"]
+
+
+@pytest.mark.slow
+def test_goodput_vs_drain_baseline():
+    point = serving_point(lanes=2, duration=0.5, seed=11)
+    baseline = drain_baseline(workers=2, jobs=40)
+    assert point["goodput_ipvs"] >= 0.9 * baseline["throughput_ipvs"]
+
+
+# -- gated CLI ---------------------------------------------------------------
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import sys
+    import time
+
+    parser = argparse.ArgumentParser(
+        description="Open-loop overload serving benchmark "
+                    "(virtual-time gated)")
+    parser.add_argument("--lanes", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=1.0,
+                        help="virtual seconds of offered load")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="offered load as a multiple of capacity")
+    parser.add_argument("--baseline-jobs", type=int, default=160)
+    parser.add_argument("--min-goodput-ratio", type=float, default=0.9)
+    parser.add_argument("--out", default=None, help="write JSON here")
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    point = serving_point(args.lanes, args.duration, args.seed,
+                          args.factor)
+    serve_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    baseline = drain_baseline(args.lanes, args.baseline_jobs)
+    baseline_wall = time.perf_counter() - t0
+    proof = reload_proof(args.seed)
+    ratio = point["goodput_ipvs"] / baseline["throughput_ipvs"]
+
+    print(f"offered {point['offered_x_capacity']:.2f}x capacity on "
+          f"{args.lanes} lanes for {args.duration:g} virtual s: "
+          f"{point['completed']} ok, {point['shed']} shed "
+          f"{point['shed_reasons']}")
+    for tenant in sorted(point["tenants"]):
+        stats = point["tenants"][tenant]
+        sla = (f"sla={stats['sla_s']:.3f}" if stats["sla_s"] is not None
+               else "sla=-")
+        print(f"  {tenant:<8} prio={stats['priority']} "
+              f"ok={stats['completed']:>4} p50={stats['p50_s']:.6f} "
+              f"p99={stats['p99_s']:.6f} {sla}")
+    print(f"peak queued {point['peak_queued']} (bound "
+          f"{point['queue_bound']}); goodput "
+          f"{point['goodput_ipvs']:,.0f} i/vs vs drain "
+          f"{baseline['throughput_ipvs']:,.0f} i/vs -> "
+          f"ratio {ratio:.3f}")
+    print(f"reload proof: {proof['applied_log']} -> pid/slot unchanged "
+          f"{proof['pid_slot_unchanged']}, clean {proof['completed_clean']}")
+
+    report = {
+        "bench": "serving-overload",
+        "clock_hz": CLOCK_HZ,
+        "seed": args.seed,
+        "serving": point,
+        "drain_baseline": baseline,
+        "goodput_ratio": round(ratio, 4),
+        "reload_proof": proof,
+        "wall_seconds": {"serving": round(serve_wall, 3),
+                         "baseline": round(baseline_wall, 3)},
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    ok = True
+    for tenant, stats in point["tenants"].items():
+        if stats["sla_s"] is not None and stats["completed"] \
+                and stats["p99_s"] > stats["sla_s"]:
+            print(f"FAIL: {tenant} p99 {stats['p99_s']:.6f} > SLA "
+                  f"{stats['sla_s']:.3f}", file=sys.stderr)
+            ok = False
+    for reason in ("throttled", "queue-full"):
+        if not point["shed_reasons"].get(reason):
+            print(f"FAIL: expected explicit {reason} rejections under "
+                  f"overload", file=sys.stderr)
+            ok = False
+    if point["peak_queued"] > point["queue_bound"]:
+        print(f"FAIL: peak queue {point['peak_queued']} exceeded bound "
+              f"{point['queue_bound']}", file=sys.stderr)
+        ok = False
+    if ratio < args.min_goodput_ratio:
+        print(f"FAIL: goodput ratio {ratio:.3f} < "
+              f"{args.min_goodput_ratio}", file=sys.stderr)
+        ok = False
+    if not (proof["pid_slot_unchanged"] and proof["completed_clean"]):
+        print("FAIL: reload proof did not hold", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

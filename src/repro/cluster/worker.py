@@ -39,8 +39,8 @@ from ..runtime.runtime import ResourceQuota, Runtime
 from .jobs import normalize_metrics
 from .snapshot import WarmPool
 
-__all__ = ["execute_job", "worker_main", "derive_worker_seed",
-           "DEFAULT_JOB_BUDGET", "CHAOS_EXIT"]
+__all__ = ["execute_job", "execute_job_steps", "worker_main",
+           "derive_worker_seed", "DEFAULT_JOB_BUDGET", "CHAOS_EXIT"]
 
 #: Hard per-job safety net so a runaway job cannot hang the worker.
 DEFAULT_JOB_BUDGET = 20_000_000
@@ -62,30 +62,50 @@ def derive_worker_seed(cluster_seed: int, worker_id: int,
     return int.from_bytes(digest[:8], "little")
 
 
-def execute_job(runtime: Runtime, pool: Optional[WarmPool],
-                job: dict, budget: int = DEFAULT_JOB_BUDGET,
-                checkpoint_interval: Optional[int] = None,
-                checkpoint_sink: Optional[Callable] = None,
-                control_poll: Optional[Callable] = None) -> dict:
-    """Run one job (to completion or a yield); returns the payload dict.
+def execute_job_steps(runtime: Runtime, pool: Optional[WarmPool],
+                      job: dict, budget: int = DEFAULT_JOB_BUDGET,
+                      checkpoint_interval: Optional[int] = None,
+                      record_trace: bool = False):
+    """Generator core of one job execution; the driver owns the pacing.
+
+    Both consumers of a job execution drive this generator: the cluster
+    worker (through :func:`execute_job`) and the serving gateway's lanes,
+    which interleave many lanes in virtual time and hot-apply per-tenant
+    policy between chunks.  Protocol:
+
+    1. the first ``next()`` yields ``{"kind": "begin", "pid",
+       "slot_base", "executed"}`` before any guest instruction runs
+       (``executed`` is the consumed count carried by a resume
+       checkpoint, 0 for a fresh spawn);
+    2. each ``send(cmd)`` runs to the next checkpoint-interval boundary
+       and yields ``{"kind": "chunk", "executed", "pid", "slot_base",
+       "checkpoint"}``.  ``cmd`` (a dict, or None) applies *before* the
+       chunk: ``{"quota": {...}}`` replaces the root process's
+       :class:`ResourceQuota` without touching the guest (policy
+       hot-reload; an empty dict clears the quota), ``{"stop": True}``
+       stops at the current boundary instead of running on;
+    3. the generator returns (``StopIteration.value``) the final payload
+       dict — ``kind == "result"`` normally, ``kind == "yield"``
+       (carrying the boundary checkpoint) after a stop.
 
     ``job["resume"]`` holds serialized :class:`Checkpoint` bytes when the
     front-end is re-dispatching a previously checkpointed job: the worker
     restores it — original pids, COW pages, counters — and continues from
-    the captured boundary instead of starting over.
+    the captured boundary instead of starting over.  ``job["quota"]``
+    carries :class:`ResourceQuota` kwargs applied at spawn (the per-tenant
+    budget of the serving gateway).
 
-    With ``checkpoint_interval`` set, execution pauses at every multiple
-    of the interval (in job-consumed instructions) to capture an
-    incremental checkpoint, hand it to ``checkpoint_sink``, and consult
-    ``control_poll(job_id)`` — a True return means the front-end wants
-    this job back (migration/drain), so the worker stops and returns a
-    ``{"kind": "yield"}`` payload carrying the fresh checkpoint.
+    Boundaries are aligned in *job-consumed* instructions, so a resumed
+    run pauses at the same points as an uninterrupted one regardless of
+    where it picked up (the byte-identity contract, DESIGN.md §12).
 
-    The runtime is left clean for the next job either way: every process
-    the job created is terminated and reaped, and every slot the job
-    allocated (including those of already-reaped fork children) is
-    unmapped with its translations swept.  Template slots owned by the
-    pool persist — they are the point of warm spawn.
+    The runtime is left clean for the next job however the job ends:
+    every process the job created is terminated and reaped, and every
+    slot the job allocated (including those of already-reaped fork
+    children) is unmapped with its translations swept.  Template slots
+    owned by the pool persist — they are the point of warm spawn.
+    Abandoning the generator (``close()``) skips the cleanup: that models
+    a worker crash, where the whole runtime is discarded.
     """
     slot_start = runtime._next_slot
     pid_start = runtime._next_pid
@@ -116,14 +136,16 @@ def execute_job(runtime: Runtime, pool: Optional[WarmPool],
             proc = runtime.spawn(program)
         if job.get("stdin"):
             proc.fds[0].buffer.extend(job["stdin"])
-        if job.get("max_instructions") is not None:
+        if job.get("quota"):
+            runtime.set_quota(proc, ResourceQuota(**job["quota"]))
+        elif job.get("max_instructions") is not None:
             runtime.set_quota(
                 proc,
                 ResourceQuota(max_instructions=job["max_instructions"]))
 
     # Attach observers only now: template builds (warm spawn) and restore
     # plumbing must not register phantom sandboxes in the job's metrics.
-    tracer = Tracer(record=False)
+    tracer = Tracer(record=record_trace)
     tracer.attach(runtime)
     hub.attach(tracer)  # no runtime: no step probe, no stepping
     #                     fallback, superblocks stay
@@ -134,13 +156,17 @@ def execute_job(runtime: Runtime, pool: Optional[WarmPool],
     cycles0 = runtime.machine.cycles
     status = "ok"
     yielded = None
+    cmd = (yield {"kind": "begin", "pid": proc.pid,
+                  "slot_base": proc.layout.base,
+                  "executed": consumed}) or {}
     try:
         while True:
+            if "quota" in cmd:
+                quota = cmd["quota"]
+                runtime.set_quota(
+                    proc, ResourceQuota(**quota) if quota else None)
             executed = consumed + (runtime.machine.instret - instret0)
             if checkpoint_interval:
-                # Next boundary in *job-consumed* instruction space, so a
-                # resumed run pauses at the same points as an
-                # uninterrupted one regardless of where it picked up.
                 boundary = ((executed // checkpoint_interval) + 1) \
                     * checkpoint_interval
                 chunk_end = min(boundary, budget)
@@ -161,11 +187,13 @@ def execute_job(runtime: Runtime, pool: Optional[WarmPool],
                                      + (runtime.machine.cycles - cycles0)),
                     fault_kinds=kinds,
                 )
-                if control_poll is not None and control_poll(job["job_id"]):
+                cmd = (yield {"kind": "chunk", "executed": executed,
+                              "pid": proc.pid,
+                              "slot_base": proc.layout.base,
+                              "checkpoint": ckpt}) or {}
+                if cmd.get("stop"):
                     yielded = ckpt
                     break
-                if checkpoint_sink is not None:
-                    checkpoint_sink(ckpt)
     except Deadlock:
         status = "deadlock"
         _kill_live(runtime, 128 + 6)
@@ -203,11 +231,44 @@ def execute_job(runtime: Runtime, pool: Optional[WarmPool],
             "checkpoints": session.seq if session is not None else 0,
         },
     }
+    if record_trace:
+        payload["trace"] = list(tracer.events)
     if restore_s is not None:
         payload["diag"]["restore_s"] = restore_s
         payload["diag"]["resumed_at"] = consumed
     _cleanup(runtime, pool, slot_start, pid_start)
     return payload
+
+
+def execute_job(runtime: Runtime, pool: Optional[WarmPool],
+                job: dict, budget: int = DEFAULT_JOB_BUDGET,
+                checkpoint_interval: Optional[int] = None,
+                checkpoint_sink: Optional[Callable] = None,
+                control_poll: Optional[Callable] = None) -> dict:
+    """Run one job (to completion or a yield); returns the payload dict.
+
+    The cluster worker's driver around :func:`execute_job_steps`: at each
+    checkpoint boundary it consults ``control_poll(job_id)`` — a True
+    return means the front-end wants this job back (migration/drain), so
+    the job stops and the payload is a ``{"kind": "yield"}`` carrying the
+    boundary checkpoint — and otherwise hands the fresh checkpoint to
+    ``checkpoint_sink``.
+    """
+    steps = execute_job_steps(runtime, pool, job, budget=budget,
+                              checkpoint_interval=checkpoint_interval)
+    cmd = None
+    try:
+        while True:
+            info = steps.send(cmd)
+            cmd = {}
+            if info["kind"] == "begin":
+                continue
+            if control_poll is not None and control_poll(job["job_id"]):
+                cmd = {"stop": True}
+            elif checkpoint_sink is not None:
+                checkpoint_sink(info["checkpoint"])
+    except StopIteration as stop:
+        return stop.value
 
 
 def _kill_live(runtime: Runtime, code: int) -> None:

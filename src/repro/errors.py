@@ -29,6 +29,9 @@ __all__ = [
     "Deadlock",
     "ClusterError",
     "CheckpointError",
+    "ServeError",
+    "Overloaded",
+    "StalePolicy",
     "VfsError",
 ]
 
@@ -71,6 +74,41 @@ class ClusterError(RuntimeError_):
 
 class CheckpointError(RuntimeError_):
     """A checkpoint cannot be taken or restored."""
+
+
+class ServeError(RuntimeError_):
+    """The serving gateway cannot accept or complete a request."""
+
+
+class Overloaded(ServeError):
+    """Typed admission rejection: the gateway shed this request.
+
+    ``reason`` is one of the gateway's rejection reasons
+    (``"throttled"``, ``"queue-full"``, ``"deadline"``,
+    ``"unknown-tenant"``) so callers can react per cause instead of
+    parsing message text.
+    """
+
+    def __init__(self, reason: str, tenant: str = "",
+                 request_id: int = -1):
+        super().__init__(
+            f"request rejected ({reason})"
+            + (f" for tenant {tenant!r}" if tenant else ""))
+        self.reason = reason
+        self.tenant = tenant
+        self.request_id = request_id
+
+
+class StalePolicy(ServeError):
+    """A policy hot-reload carried a non-monotonic version token."""
+
+    def __init__(self, tenant: str, token: int, current: int):
+        super().__init__(
+            f"stale policy reload for tenant {tenant!r}: "
+            f"token {token} <= current version {current}")
+        self.tenant = tenant
+        self.token = token
+        self.current = current
 
 
 class VfsError(OSError, ReproError):

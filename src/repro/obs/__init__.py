@@ -26,6 +26,7 @@ from .events import (
     TraceEvent,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsHub, merge_snapshots
+from .prometheus import prometheus_exposition, validate_exposition
 from .profiler import (
     BUCKET_ORDER,
     GuardProfiler,
@@ -51,6 +52,8 @@ __all__ = [
     "Histogram",
     "MetricsHub",
     "merge_snapshots",
+    "prometheus_exposition",
+    "validate_exposition",
     "BUCKET_ORDER",
     "GuardProfiler",
     "ProfileReport",

@@ -227,6 +227,10 @@ class MetricsHub:
             gauge = self.host[name] = Gauge()
         return gauge
 
+    def host_gauge(self, name: str) -> Gauge:
+        """Named host-level gauge (ops metrics: lane count, queue depth)."""
+        return self._host_gauge(name)
+
     def host_counter(self, name: str) -> Counter:
         counter = self.host_counters.get(name)
         if counter is None:

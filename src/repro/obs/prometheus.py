@@ -1,0 +1,350 @@
+"""Prometheus text-format exporter for :class:`MetricsHub` + validator.
+
+:func:`prometheus_exposition` renders a hub into the Prometheus text
+exposition format (version 0.0.4): ``# TYPE`` headers, ``_total``
+counters, ``le``-bucketed histograms with ``+Inf``/``_sum``/``_count``,
+label values escaped per the spec.  The repo's bracket-label naming
+convention for host metrics —
+
+    ``serve.rejected[tenant=acme,reason=queue-full]``
+
+— becomes a properly labeled family —
+
+    ``repro_serve_rejected_total{reason="queue-full",tenant="acme"}``
+
+— so per-tenant serving counters scrape as real label dimensions, not
+as an unbounded family namespace.  Per-sandbox metrics get a ``pid``
+label plus the natural sub-label of each family (``call``, ``guard``,
+``resource``).
+
+:func:`validate_exposition` is the scrape-side twin, mirroring the
+Chrome-trace validator (:func:`repro.obs.chrome.validate_trace`): it
+re-parses an exposition and returns a list of violated invariants —
+grammar, ``TYPE`` discipline, duplicate series, histogram bucket
+monotonicity and ``+Inf``/``_count`` agreement — so CI can assert a
+serving run exports something a real Prometheus server would ingest.
+Output is deterministic: families and label sets are emitted sorted.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsHub
+
+__all__ = ["prometheus_exposition", "validate_exposition"]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _sanitize(name: str) -> str:
+    return _SANITIZE_RE.sub("_", name)
+
+
+def _split_brackets(name: str) -> Tuple[str, Dict[str, str]]:
+    """``a.b[k=v,k2=v2]`` -> (``a.b``, {k: v, k2: v2})."""
+    if not name.endswith("]") or "[" not in name:
+        return name, {}
+    base, _, inner = name[:-1].partition("[")
+    labels: Dict[str, str] = {}
+    for part in inner.split(","):
+        key, sep, value = part.partition("=")
+        if not sep:
+            return name, {}  # not our convention; keep the name whole
+        labels[key.strip()] = value.strip()
+    return base, labels
+
+
+def _labelset(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_sanitize(k)}="{_escape(str(v))}"'
+                     for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Family:
+    def __init__(self, kind: str):
+        self.kind = kind                       # counter|gauge|histogram
+        self.samples: List[Tuple[str, str, str]] = []
+        # (sample_name, labelset, value) — histograms carry their
+        # _bucket/_sum/_count suffixes in sample_name.
+
+    def add(self, suffix: str, labels: Dict[str, str], value) -> None:
+        self.samples.append((suffix, _labelset(labels),
+                             _fmt_value(value)))
+
+
+def prometheus_exposition(hub: MetricsHub,
+                          namespace: str = "repro") -> str:
+    """Render ``hub`` as Prometheus text exposition format 0.0.4."""
+    families: Dict[str, _Family] = {}
+
+    def family(name: str, kind: str) -> _Family:
+        fam = families.get(name)
+        if fam is None:
+            fam = families[name] = _Family(kind)
+        return fam
+
+    def host_name(raw: str) -> Tuple[str, Dict[str, str]]:
+        base, labels = _split_brackets(raw)
+        return f"{namespace}_{_sanitize(base)}", labels
+
+    for raw in hub.host:
+        name, labels = host_name(raw)
+        family(name, "gauge").add("", labels, hub.host[raw].value)
+    for raw in hub.host_counters:
+        name, labels = host_name(raw)
+        if not name.endswith("_total"):
+            name += "_total"
+        family(name, "counter").add("", labels,
+                                    hub.host_counters[raw].value)
+    for raw in hub.host_histograms:
+        name, labels = host_name(raw)
+        _add_histogram(family(name, "histogram"), labels,
+                       hub.host_histograms[raw])
+
+    prefix = f"{namespace}_sandbox"
+    for pid, metrics in hub.sandboxes.items():
+        labels = {"pid": str(pid)}
+        family(f"{prefix}_instructions_total", "counter").add(
+            "", labels, metrics.instructions.value)
+        family(f"{prefix}_slices_total", "counter").add(
+            "", labels, metrics.slices.value)
+        family(f"{prefix}_faults_total", "counter").add(
+            "", labels, metrics.faults.value)
+        for call, counter in metrics.calls.items():
+            family(f"{prefix}_calls_total", "counter").add(
+                "", {**labels, "call": call}, counter.value)
+        if metrics.call_latency.count:
+            _add_histogram(family(f"{prefix}_call_cycles", "histogram"),
+                           labels, metrics.call_latency)
+        for guard, counter in metrics.guard_exec.items():
+            family(f"{prefix}_guard_exec_total", "counter").add(
+                "", {**labels, "guard": guard}, counter.value)
+        for resource, gauge in metrics.headroom.items():
+            family(f"{prefix}_quota_headroom", "gauge").add(
+                "", {**labels, "resource": resource}, gauge.value)
+
+    lines: List[str] = []
+    for name in sorted(families):
+        fam = families[name]
+        lines.append(f"# TYPE {name} {fam.kind}")
+        for suffix, labelset, value in sorted(fam.samples):
+            lines.append(f"{name}{suffix}{labelset} {value}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _add_histogram(fam: _Family, labels: Dict[str, str],
+                   histogram) -> None:
+    cumulative = 0
+    for bound, count in zip(histogram.bounds, histogram.buckets):
+        cumulative += count
+        fam.add("_bucket", {**labels, "le": f"{bound:g}"}, cumulative)
+    fam.add("_bucket", {**labels, "le": "+Inf"}, histogram.count)
+    fam.add("_sum", labels, histogram.total)
+    fam.add("_count", labels, histogram.count)
+
+
+# -- validation ---------------------------------------------------------------
+
+_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_labels(text: str) -> Optional[Dict[str, str]]:
+    """Parse ``k="v",k2="v2"`` (inner part of a labelset); None on error."""
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', text[i:])
+        if match is None:
+            return None
+        key = match.group(1)
+        i += match.end()
+        value = []
+        while i < len(text):
+            ch = text[i]
+            if ch == "\\":
+                if i + 1 >= len(text) or text[i + 1] not in '\\"n':
+                    return None
+                value.append({"\\": "\\", '"': '"',
+                              "n": "\n"}[text[i + 1]])
+                i += 2
+                continue
+            if ch == '"':
+                break
+            if ch == "\n":
+                return None
+            value.append(ch)
+            i += 1
+        else:
+            return None
+        if key in labels:
+            return None  # duplicate label name
+        labels[key] = "".join(value)
+        i += 1  # closing quote
+        if i < len(text):
+            if text[i] != ",":
+                return None
+            i += 1
+    return labels
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Check ``text`` against the exposition-format invariants.
+
+    Returns a list of violation strings (empty = valid):
+
+    * sample-line grammar: ``name[{labels}] value``, valid metric and
+      label names, properly quoted/escaped label values, numeric value;
+    * ``# TYPE`` discipline: announced once per family, before any of
+      its samples; every sample belongs to an announced family
+      (histogram samples match their base family via
+      ``_bucket``/``_sum``/``_count``);
+    * type shape: histogram families have exactly the three suffixes, a
+      ``+Inf`` bucket per label subgroup agreeing with ``_count``, and
+      cumulative bucket counts that never decrease as ``le`` rises;
+      counter families use the ``_total`` naming convention and stay
+      non-negative;
+    * no duplicate series (same sample name + label set twice).
+    """
+    errors: List[str] = []
+    types: Dict[str, str] = {}
+    seen_series: set = set()
+    # histogram family -> labelset-sans-le -> {"buckets": [(le, v)],
+    #                                          "count": v or None}
+    histograms: Dict[str, Dict[str, dict]] = {}
+
+    def err(line_no: int, message: str) -> None:
+        errors.append(f"line {line_no}: {message}")
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            fields = line.split(None, 3)
+            if len(fields) >= 2 and fields[1] == "TYPE":
+                if len(fields) != 4:
+                    err(line_no, f"malformed TYPE line: {line!r}")
+                    continue
+                _, _, name, kind = fields
+                if not _NAME_RE.match(name):
+                    err(line_no, f"invalid metric name {name!r}")
+                if kind not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    err(line_no, f"unknown metric type {kind!r}")
+                if name in types:
+                    err(line_no, f"duplicate TYPE for family {name!r}")
+                types[name] = kind
+            continue
+        # sample line: name[{labels}] value
+        match = re.match(r"([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)$",
+                         line)
+        if match is None:
+            err(line_no, f"unparseable sample line: {line!r}")
+            continue
+        name, _braced, inner, raw_value = match.groups()
+        labels = _parse_labels(inner) if inner is not None else {}
+        if labels is None:
+            err(line_no, f"malformed labels in {line!r}")
+            continue
+        try:
+            value = float(raw_value)
+        except ValueError:
+            err(line_no, f"non-numeric value {raw_value!r}")
+            continue
+        # resolve the family this sample belongs to
+        fam = None
+        for suffix in _SUFFIXES:
+            if name.endswith(suffix) \
+                    and types.get(name[:-len(suffix)]) == "histogram":
+                fam = name[:-len(suffix)]
+                break
+        if fam is None:
+            fam = name
+        kind = types.get(fam)
+        if kind is None:
+            err(line_no, f"sample {name!r} has no preceding TYPE")
+            continue
+        series = (name, tuple(sorted(labels.items())))
+        if series in seen_series:
+            err(line_no, f"duplicate series {name!r} "
+                         f"labels={dict(sorted(labels.items()))}")
+        seen_series.add(series)
+        if kind == "counter":
+            if not name.endswith("_total"):
+                err(line_no, f"counter {name!r} should end with _total")
+            if value < 0:
+                err(line_no, f"counter {name!r} is negative ({value})")
+        if kind == "histogram":
+            group = histograms.setdefault(fam, {})
+            sub = tuple(sorted((k, v) for k, v in labels.items()
+                               if k != "le"))
+            entry = group.setdefault(sub, {"buckets": [], "count": None,
+                                           "line": line_no})
+            if name == fam + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    err(line_no, f"bucket of {fam!r} missing le label")
+                else:
+                    entry["buckets"].append((line_no, le, value))
+            elif name == fam + "_count":
+                entry["count"] = value
+                if value < 0:
+                    err(line_no, f"histogram count negative in {fam!r}")
+
+    for fam, group in histograms.items():
+        for sub, entry in group.items():
+            buckets = entry["buckets"]
+            labels_text = dict(sub) or "{}"
+            if not buckets:
+                errors.append(f"histogram {fam!r} {labels_text} has no "
+                              f"buckets")
+                continue
+            inf = [v for _ln, le, v in buckets if le == "+Inf"]
+            if not inf:
+                errors.append(f"histogram {fam!r} {labels_text} missing "
+                              f"+Inf bucket")
+            elif entry["count"] is not None and inf[0] != entry["count"]:
+                errors.append(
+                    f"histogram {fam!r} {labels_text}: +Inf bucket "
+                    f"{inf[0]:g} != _count {entry['count']:g}")
+            finite = []
+            for _ln, le, v in buckets:
+                if le == "+Inf":
+                    continue
+                try:
+                    finite.append((float(le), v))
+                except ValueError:
+                    errors.append(f"histogram {fam!r} {labels_text}: "
+                                  f"bad le value {le!r}")
+            finite.sort()
+            for (lo_le, lo), (hi_le, hi) in zip(finite, finite[1:]):
+                if hi < lo:
+                    errors.append(
+                        f"histogram {fam!r} {labels_text}: bucket "
+                        f"le={hi_le:g} count {hi:g} < le={lo_le:g} "
+                        f"count {lo:g} (not cumulative)")
+            if finite and inf and inf[0] < finite[-1][1]:
+                errors.append(
+                    f"histogram {fam!r} {labels_text}: +Inf bucket "
+                    f"below last finite bucket")
+    return errors

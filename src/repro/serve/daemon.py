@@ -1,0 +1,123 @@
+"""Asyncio facade: the always-on daemon face of the gateway.
+
+:class:`AsyncGateway` puts the deterministic virtual-time core behind an
+``asyncio`` API for embedders that want a long-lived service object:
+``await submit(...)`` resolves to the request's :class:`ServeResult`
+(or raises the typed :class:`~repro.errors.Overloaded` when admission
+sheds it), ``reload``/``resize`` are the live control plane, and a
+background pump advances the core as wall time passes.
+
+Wall time maps to virtual time through ``time_scale`` (virtual seconds
+per wall second).  The *schedule* — who was admitted, shed, when each
+chunk ran — is computed entirely in virtual time by the core, so two
+daemons given the same offers at the same virtual timestamps behave
+identically even though their wall clocks differ; only responsiveness
+(how often the pump wakes) is wall-clock dependent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+from ..errors import Overloaded
+from .gateway import Gateway, ServeResult
+from .policy import TenantPolicy
+
+__all__ = ["AsyncGateway"]
+
+
+class AsyncGateway:
+    """Asyncio wrapper: submit jobs, await results, reload policy live."""
+
+    def __init__(self, policies: Dict[str, TenantPolicy], *,
+                 time_scale: float = 50.0,
+                 tick_s: float = 0.005,
+                 **gateway_kwargs):
+        self.core = Gateway(policies, on_result=self._on_result,
+                            **gateway_kwargs)
+        self.time_scale = time_scale
+        self.tick_s = tick_s
+        self._futures: Dict[int, asyncio.Future] = {}
+        self._pump_task: Optional[asyncio.Task] = None
+        self._wall0: Optional[float] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "AsyncGateway":
+        loop = asyncio.get_running_loop()
+        self._wall0 = loop.time()
+        self._pump_task = loop.create_task(self._pump())
+        return self
+
+    async def stop(self) -> None:
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+        self.core.drain()
+
+    async def __aenter__(self) -> "AsyncGateway":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    def _vnow(self) -> float:
+        loop = asyncio.get_running_loop()
+        return (loop.time() - self._wall0) * self.time_scale
+
+    async def _pump(self) -> None:
+        while True:
+            self.core.run(self._vnow())
+            await asyncio.sleep(self.tick_s)
+
+    # -- request path --------------------------------------------------------
+
+    async def submit(self, tenant: str, program: bytes, *,
+                     stdin: bytes = b"") -> ServeResult:
+        """Submit one request; resolves when it finishes.
+
+        Raises :class:`Overloaded` (typed, with ``.reason``) when
+        admission sheds it — immediately for admission-time sheds,
+        at dispatch time for deadline sheds.
+        """
+        if self._pump_task is None:
+            raise RuntimeError("AsyncGateway not started")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self.core.run(self._vnow())
+        request_id = self.core.offer(tenant, program, stdin=stdin)
+        done = self.core.results_by_id.get(request_id)
+        if done is not None:
+            return done
+        self._futures[request_id] = future
+        return await future
+
+    def _on_result(self, result: ServeResult) -> None:
+        future = self._futures.pop(result.request_id, None)
+        if future is None or future.done():
+            return
+        if result.status == "rejected":
+            future.set_exception(
+                Overloaded(result.reason, result.tenant,
+                           result.request_id))
+        else:
+            future.set_result(result)
+
+    # -- control plane -------------------------------------------------------
+
+    def reload(self, tenant: str, policy: TenantPolicy,
+               token: int) -> None:
+        self.core.run(self._vnow())
+        self.core.reload(tenant, policy, token)
+
+    def resize(self, lanes: int) -> None:
+        self.core.run(self._vnow())
+        self.core.resize(lanes)
+
+    def report(self) -> str:
+        return self.core.report()

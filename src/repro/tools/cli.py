@@ -346,6 +346,54 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json as _json
+
+    from ..obs import prometheus_exposition, validate_exposition
+    from ..serve import (
+        Gateway,
+        demo_loads,
+        demo_policies,
+        load_config,
+        render_report,
+        run_loadgen,
+    )
+
+    if args.config:
+        try:
+            config = _json.loads(_read_text(args.config))
+        except _json.JSONDecodeError as exc:
+            raise ReproError(
+                f"config {args.config}: {exc}") from None
+        gateway_kwargs, policies, loads, duration = load_config(config)
+    else:
+        gateway_kwargs = {"lanes": 4, "checkpoint_interval": 2000}
+        policies, loads, duration = demo_policies(), demo_loads(), 1.0
+    if args.duration is not None:
+        duration = args.duration
+    if args.lanes is not None:
+        gateway_kwargs["lanes"] = args.lanes
+
+    gateway = Gateway(policies, seed=args.seed, **gateway_kwargs)
+    results = run_loadgen(gateway, loads, duration, seed=args.seed)
+    ok = sum(1 for r in results if r.status == "ok")
+    print(f"[{len(results)} requests over {duration:g} virtual s on "
+          f"{gateway_kwargs['lanes']} lane(s): {ok} ok, "
+          f"{len(results) - ok} shed]", file=sys.stderr)
+    _write_text(args.out, render_report(results, policies))
+    if args.metrics_out:
+        gateway.report()  # refresh the lane/queue gauges
+        exposition = prometheus_exposition(gateway.hub)
+        problems = validate_exposition(exposition)
+        for problem in problems[:10]:
+            print(f"invalid exposition: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        with open(args.metrics_out, "w") as handle:
+            handle.write(exposition)
+    return 0
+
+
 def _checkpoint_image(args):
     """The ELF image a checkpoint/migrate command operates on."""
     if args.bench:
@@ -660,6 +708,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interval", type=int, default=20_000,
                    help="checkpoint interval (instructions)")
     p.set_defaults(func=_cmd_migrate)
+
+    p = sub.add_parser(
+        "serve", parents=[OUT, SEED],
+        help="serve a seeded open-loop load through the admission gateway",
+    )
+    p.add_argument("--config", metavar="PATH",
+                   help="JSON tenant policy/load config ('-' for stdin; "
+                        "default: the built-in 8-tenant demo)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="virtual seconds of offered load "
+                        "(overrides the config)")
+    p.add_argument("--lanes", type=int, default=None,
+                   help="serving lanes (overrides the config)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the validated Prometheus exposition to PATH")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "prove", parents=[OUT, SEED],

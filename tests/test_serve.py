@@ -1,0 +1,391 @@
+"""repro.serve: admission control, hot-reload edge cases, determinism."""
+
+import asyncio
+
+import pytest
+
+from repro.elf.format import write_elf
+from repro.errors import Overloaded, ServeError, StalePolicy
+from repro.serve import (
+    AsyncGateway,
+    Autoscale,
+    Gateway,
+    PolicyStore,
+    TenantLoad,
+    TenantPolicy,
+    load_config,
+    run_loadgen,
+)
+from repro.toolchain import compile_lfi
+from repro.workloads.rtlib import busy_program
+
+
+@pytest.fixture(scope="module")
+def images():
+    """Compile each busy image once for the whole module."""
+    def build(value, target):
+        return write_elf(compile_lfi(busy_program(value, target)).elf)
+    return {
+        "short": build(7, 3000),      # ~3 ms of virtual time
+        "long": build(9, 40_000),     # ~40 ms
+        "medium": build(5, 20_000),   # ~20 ms
+    }
+
+
+def counter(gateway, name):
+    return gateway.hub.host_counter(name).value
+
+
+# -- policy store ------------------------------------------------------------
+
+
+class TestPolicyStore:
+    def test_monotonic_token_protocol(self):
+        store = PolicyStore()
+        store.add("a", TenantPolicy())
+        assert store.version("a") == 0
+        assert store.reload("a", TenantPolicy(priority=2), token=5) == 5
+        assert store.version("a") == 5
+        assert store.get("a").priority == 2
+
+    def test_stale_token_rejected(self):
+        store = PolicyStore()
+        store.add("a", TenantPolicy())
+        store.reload("a", TenantPolicy(), token=3)
+        with pytest.raises(StalePolicy, match="token 3 <= current"):
+            store.reload("a", TenantPolicy(), token=3)
+        with pytest.raises(StalePolicy):
+            store.reload("a", TenantPolicy(), token=1)
+        assert store.version("a") == 3  # refused reloads change nothing
+
+    def test_unknown_tenant_and_duplicates(self):
+        store = PolicyStore()
+        store.add("a", TenantPolicy())
+        with pytest.raises(ServeError):
+            store.add("a", TenantPolicy())
+        with pytest.raises(ServeError):
+            store.reload("ghost", TenantPolicy(), token=1)
+
+    def test_policy_validation(self):
+        with pytest.raises(ServeError):
+            TenantPolicy(rate=0)
+        with pytest.raises(ServeError):
+            TenantPolicy(priority=-1)
+        with pytest.raises(ServeError):
+            TenantPolicy(queue_limit=0)
+        with pytest.raises(ServeError):
+            TenantPolicy(quota={"max_threads": 4})
+
+
+# -- admission ---------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_unknown_tenant_sheds_typed(self, images):
+        gateway = Gateway({"a": TenantPolicy()}, lanes=1)
+        with pytest.raises(Overloaded, match="unknown-tenant"):
+            gateway.offer("ghost", images["short"])
+
+    def test_token_bucket_throttles(self, images):
+        gateway = Gateway({"a": TenantPolicy(rate=10.0, burst=1.0)},
+                          lanes=1)
+        gateway.offer("a", images["short"])  # consumes the only token
+        with pytest.raises(Overloaded, match="throttled") as err:
+            gateway.offer("a", images["short"])
+        assert err.value.tenant == "a"
+        assert counter(gateway, "serve.rejected[reason=throttled,tenant=a]") \
+            == 1
+
+    def test_bucket_refills_in_virtual_time(self, images):
+        gateway = Gateway({"a": TenantPolicy(rate=10.0, burst=1.0)},
+                          lanes=1)
+        gateway.offer("a", images["short"], at=0.0)
+        gateway.offer("a", images["short"], at=0.01)   # bucket still empty
+        gateway.offer("a", images["short"], at=0.25)   # refilled
+        results = gateway.drain()
+        by_status = sorted((r.status, r.reason) for r in results)
+        assert by_status == [("ok", ""), ("ok", ""),
+                             ("rejected", "throttled")]
+
+    def test_queue_full_sheds(self, images):
+        gateway = Gateway(
+            {"a": TenantPolicy(rate=1000.0, burst=100.0, queue_limit=2)},
+            lanes=1)
+        gateway.offer("a", images["long"])      # occupies the lane
+        gateway.offer("a", images["short"])     # queued (1/2)
+        gateway.offer("a", images["short"])     # queued (2/2)
+        with pytest.raises(Overloaded, match="queue-full"):
+            gateway.offer("a", images["short"])
+        results = gateway.drain()
+        assert sum(1 for r in results if r.status == "ok") == 3
+        assert gateway.peak_queued == 2
+
+    def test_priority_classes_dispatch_first(self, images):
+        gateway = Gateway(
+            {"gold": TenantPolicy(priority=0, rate=100.0, burst=4.0),
+             "bronze": TenantPolicy(priority=2, rate=100.0, burst=4.0)},
+            lanes=1)
+        gateway.offer("bronze", images["long"], at=0.0)   # running
+        gateway.offer("bronze", images["short"], at=0.001)
+        gateway.offer("gold", images["short"], at=0.002)  # arrives later
+        gateway.drain()
+        starts = [line for line in gateway.log if " start " in line]
+        assert "tenant=bronze" in starts[0]
+        assert "tenant=gold" in starts[1]     # jumped the bronze waiter
+        assert "tenant=bronze" in starts[2]
+
+    def test_deadline_sheds_at_dispatch_only(self, images):
+        gateway = Gateway(
+            {"a": TenantPolicy(rate=100.0, burst=4.0, deadline_s=0.01)},
+            lanes=1)
+        gateway.offer("a", images["long"], at=0.0)     # runs ~40 ms
+        late = gateway.offer("a", images["short"], at=0.001)
+        results = {r.request_id: r for r in gateway.drain()}
+        # The first request started before its deadline expired, so it
+        # completes; the waiter expired before a lane freed up.
+        assert results[late - 1].status == "ok"
+        assert results[late].status == "rejected"
+        assert results[late].reason == "deadline"
+
+    def test_warm_spawn_across_requests(self, images):
+        gateway = Gateway({"a": TenantPolicy(rate=100.0, burst=8.0)},
+                          lanes=1)
+        gateway.offer("a", images["short"], at=0.0)
+        gateway.offer("a", images["short"], at=0.1)
+        results = gateway.drain()
+        assert [r.warm for r in results] == [False, True]
+        assert counter(gateway, "serve.warm_hits") == 1
+
+
+# -- policy hot-reload edge cases --------------------------------------------
+
+
+class TestHotReload:
+    def test_reload_applies_without_restart(self, images):
+        policies = {"a": TenantPolicy(rate=100.0,
+                                      quota={"max_instructions": 80_000})}
+        gateway = Gateway(policies, lanes=1, checkpoint_interval=2000)
+        gateway.offer("a", images["long"], at=0.0)
+        gateway.reload("a", TenantPolicy(rate=100.0,
+                                         quota={"max_instructions": 60_000}),
+                       token=1, at=0.011)
+        result = gateway.drain()[0]
+        applied = [line for line in gateway.log if " apply-policy " in line]
+        assert len(applied) == 1
+        assert f"pid={result.pid}" in applied[0]
+        assert f"slot={hex(result.slot)}" in applied[0]
+        assert result.status == "ok" and result.exit_code == 9
+        assert result.attempts == 1   # never restarted
+
+    def test_stale_scheduled_reload_logged_not_raised(self, images):
+        gateway = Gateway({"a": TenantPolicy()}, lanes=1)
+        gateway.reload("a", TenantPolicy(), token=2, at=0.01)
+        gateway.reload("a", TenantPolicy(), token=2, at=0.02)  # stale dup
+        gateway.run(0.1)
+        assert counter(gateway, "serve.reloads_stale[tenant=a]") == 1
+        assert any(" reload-stale " in line for line in gateway.log)
+        assert gateway.store.version("a") == 2
+
+    def test_stale_immediate_reload_raises(self):
+        gateway = Gateway({"a": TenantPolicy()}, lanes=1)
+        gateway.reload("a", TenantPolicy(), token=1)
+        with pytest.raises(StalePolicy):
+            gateway.reload("a", TenantPolicy(), token=1)
+
+    def test_quota_shrink_trips_on_next_check_not_retroactively(self,
+                                                                images):
+        """Shrinking below current usage must not rewind the guest: the
+        chunks already executed stand, and the trip lands at the first
+        quota check *after* the reload boundary."""
+        policies = {"a": TenantPolicy(rate=100.0,
+                                      quota={"max_instructions": 80_000})}
+        gateway = Gateway(policies, lanes=1, checkpoint_interval=2000)
+        gateway.offer("a", images["medium"], at=0.0)   # ~20k instructions
+        reload_at = 0.005                              # ~5k already run
+        gateway.reload("a", TenantPolicy(rate=100.0,
+                                         quota={"max_instructions": 1000}),
+                       token=1, at=reload_at)
+        result = gateway.drain()[0]
+        assert result.exit_code == 128 + 9
+        assert "quota" in result.faults
+        # Not retroactive: the guest kept everything it had executed
+        # before the shrink landed, far beyond the new 1k budget.
+        assert result.instructions > 4000
+        assert result.finish_s > reload_at
+
+    def test_resumed_request_gets_reloaded_policy(self, images):
+        """A checkpoint parked across a crash must not resurrect the
+        quota it was checkpointed with: re-dispatch applies the tenant's
+        *current* policy."""
+        policies = {"a": TenantPolicy(rate=100.0,
+                                      quota={"max_instructions": 80_000})}
+        gateway = Gateway(policies, lanes=1, checkpoint_interval=2000,
+                          chaos={0: 1})  # lane 0 dies at its 1st boundary
+        gateway.offer("a", images["medium"], at=0.0)
+        # Reload lands while the request is parked awaiting the restart.
+        gateway.reload("a", TenantPolicy(rate=100.0,
+                                         quota={"max_instructions": 1000}),
+                       token=1, at=0.0021)
+        result = gateway.drain()[0]
+        assert counter(gateway, "serve.crashes") == 1
+        assert result.attempts == 2
+        assert result.exit_code == 128 + 9      # tight quota applied
+        assert "quota" in result.faults
+
+    def test_crash_resumes_from_checkpoint_same_pid(self, images):
+        gateway = Gateway({"a": TenantPolicy(rate=100.0)}, lanes=1,
+                          checkpoint_interval=2000, chaos={0: 1})
+        gateway.offer("a", images["medium"], at=0.0)
+        result = gateway.drain()[0]
+        assert result.status == "ok" and result.exit_code == 5
+        assert result.attempts == 2
+        assert counter(gateway, "serve.restarts") == 1
+        starts = [line for line in gateway.log if " start " in line]
+        assert len(starts) == 2
+        # The checkpoint restores the guest's original pid on resume.
+        assert f"pid={result.pid}" in starts[0]
+        assert f"pid={result.pid}" in starts[1]
+        # Total instructions cover the whole program exactly once plus
+        # nothing lost: the resume continued from the boundary.
+        assert result.instructions >= 20_000
+
+
+# -- elasticity and migration ------------------------------------------------
+
+
+class TestElasticity:
+    def test_autoscale_up_and_down(self, images):
+        gateway = Gateway(
+            {"a": TenantPolicy(rate=1000.0, burst=50.0, queue_limit=32)},
+            lanes=1, autoscale=Autoscale(min_lanes=1, max_lanes=3,
+                                         queue_high=2))
+        for i in range(8):
+            gateway.offer("a", images["short"], at=0.0001 * (i + 1))
+        gateway.drain()
+        ups = counter(gateway, "serve.scale_ups")
+        downs = counter(gateway, "serve.scale_downs")
+        assert ups >= 2
+        assert downs >= 2
+        assert len(gateway.live_lanes()) == 1   # back at min_lanes
+
+    def test_resize_drains_busy_lane(self, images):
+        gateway = Gateway({"a": TenantPolicy(rate=100.0, burst=8.0)},
+                          lanes=2, checkpoint_interval=2000)
+        gateway.offer("a", images["long"], at=0.0)    # lands on lane 0
+        gateway.resize(1, at=0.005)                   # lane 1 idle: gone
+        results = gateway.drain()
+        assert results[0].status == "ok"
+        assert gateway.live_lanes() == [0]
+        assert any(" retire lane=1" in line for line in gateway.log)
+
+    def test_migrate_moves_request_keeps_pid(self, images):
+        gateway = Gateway({"a": TenantPolicy(rate=100.0, burst=8.0)},
+                          lanes=2, checkpoint_interval=2000)
+        req = gateway.offer("a", images["long"], at=0.0)
+        gateway.migrate(req, to_lane=1, at=0.005)
+        result = gateway.drain()[0]
+        assert result.status == "ok"
+        assert result.lane == 1
+        assert counter(gateway, "serve.migrations[tenant=a]") == 1
+        starts = [line for line in gateway.log if " start " in line]
+        assert "lane=0" in starts[0] and "lane=1" in starts[1]
+        assert f"pid={result.pid}" in starts[0]   # pid survives the move
+
+
+# -- determinism -------------------------------------------------------------
+
+
+def _replay(seed):
+    policies = {
+        "gold": TenantPolicy(priority=0, rate=60.0, burst=8.0,
+                             queue_limit=8, sla_s=0.05),
+        "bronze": TenantPolicy(priority=2, rate=20.0, burst=4.0,
+                               queue_limit=4),
+    }
+    gateway = Gateway(policies, lanes=2, checkpoint_interval=2000,
+                      seed=seed)
+    loads = [TenantLoad("gold", rate=40.0, target_instructions=3000,
+                        value=1),
+             TenantLoad("bronze", rate=80.0, target_instructions=4000,
+                        value=2)]
+    results = run_loadgen(gateway, loads, 0.25, seed=seed)
+    return gateway, results
+
+
+class TestDeterminism:
+    def test_seeded_admission_schedule_replays_byte_identically(self):
+        g1, r1 = _replay(seed=5)
+        g2, r2 = _replay(seed=5)
+        assert g1.log == g2.log
+        assert [r.deterministic_key() for r in r1] \
+            == [r.deterministic_key() for r in r2]
+        assert g1.report() == g2.report()
+
+    def test_different_seed_differs(self):
+        g1, _ = _replay(seed=5)
+        g2, _ = _replay(seed=6)
+        assert g1.log != g2.log
+
+    def test_chaos_fault_injection_is_deterministic(self, images):
+        def run():
+            gateway = Gateway({"a": TenantPolicy(rate=100.0, burst=8.0)},
+                              lanes=1, checkpoint_interval=2000,
+                              chaos_faults={0: 2}, seed=9)
+            gateway.offer("a", images["medium"], at=0.0)
+            return [r.deterministic_key() for r in gateway.drain()]
+        assert run() == run()
+
+
+# -- async facade ------------------------------------------------------------
+
+
+class TestAsyncGateway:
+    def test_submit_roundtrip_and_typed_overload(self, images):
+        async def scenario():
+            # Refill is ~zero, so the bucket stays empty after the first
+            # admit no matter how much wall time the await burned.
+            policies = {"a": TenantPolicy(rate=0.001, burst=1.0)}
+            async with AsyncGateway(policies, lanes=1,
+                                    time_scale=500.0) as gw:
+                result = await gw.submit("a", images["short"])
+                with pytest.raises(Overloaded):
+                    await gw.submit("a", images["short"])
+                return result
+        result = asyncio.run(scenario())
+        assert result.status == "ok"
+        assert result.exit_code == 7
+
+    def test_submit_requires_started_gateway(self, images):
+        gw = AsyncGateway({"a": TenantPolicy()})
+
+        async def scenario():
+            with pytest.raises(RuntimeError):
+                await gw.submit("a", images["short"])
+        asyncio.run(scenario())
+
+
+# -- config loading ----------------------------------------------------------
+
+
+class TestLoadConfig:
+    def test_full_shape(self):
+        kwargs, policies, loads, duration = load_config({
+            "lanes": 3, "duration_s": 0.5, "checkpoint_interval": 1000,
+            "tenants": {"t": {"priority": 1, "rate": 30, "sla_ms": 100,
+                              "quota": {"max_instructions": 10_000},
+                              "load": {"rate": 20, "instructions": 2500,
+                                       "value": 3}}}})
+        assert kwargs == {"lanes": 3, "checkpoint_interval": 1000}
+        assert duration == 0.5
+        assert policies["t"].sla_s == 0.1
+        assert loads[0].target_instructions == 2500
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ServeError, match="unknown config keys"):
+            load_config({"tenants": {"t": {}}, "lane": 2})
+        with pytest.raises(ServeError, match="unknown keys"):
+            load_config({"tenants": {"t": {"rte": 10}}})
+        with pytest.raises(ServeError, match="JSON object"):
+            load_config(["not", "a", "dict"])
+        with pytest.raises(ServeError, match="tenants"):
+            load_config({"lanes": 2})

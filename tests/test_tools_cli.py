@@ -225,3 +225,83 @@ class TestSharedFlags:
             assert (args.seed, args.out, args.opt_level) == (9, "x.txt", "O1")
             args = self._parse(command, ["-o", "y.txt", "-O", "O0"])
             assert (args.out, args.opt_level) == ("y.txt", "O0")
+
+
+class TestServeCommand:
+    CONFIG = {
+        "lanes": 2, "duration_s": 0.2, "checkpoint_interval": 2000,
+        "tenants": {
+            "gold": {"priority": 0, "rate": 60, "burst": 8, "sla_ms": 50,
+                     "load": {"rate": 30, "instructions": 3000,
+                              "value": 1}},
+            "bronze": {"priority": 2, "rate": 10, "burst": 2,
+                       "queue_limit": 4,
+                       "load": {"rate": 60, "instructions": 4000,
+                                "value": 2}},
+        },
+    }
+
+    def _config_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "serve.json"
+        path.write_text(json.dumps(self.CONFIG))
+        return path
+
+    def test_serve_report_and_metrics(self, tmp_path, capsys):
+        config = self._config_file(tmp_path)
+        report = tmp_path / "report.txt"
+        metrics = tmp_path / "metrics.prom"
+        assert main(["serve", "--config", str(config), "--seed", "3",
+                     "-o", str(report), "--metrics-out", str(metrics)]) == 0
+        err = capsys.readouterr().err
+        assert "requests over 0.2 virtual s on 2 lane(s)" in err
+        text = report.read_text()
+        assert text.startswith("tenant prio offered ok rejected")
+        assert "bronze 2 " in text and "gold 0 " in text
+        exposition = metrics.read_text()
+        assert "# TYPE repro_serve_completed_total counter" in exposition
+
+        from repro.obs import validate_exposition
+
+        assert validate_exposition(exposition) == []
+
+    def test_serve_deterministic_across_runs(self, tmp_path, capsys):
+        config = self._config_file(tmp_path)
+        outs = []
+        for name in ("a", "b"):
+            report = tmp_path / f"{name}.txt"
+            metrics = tmp_path / f"{name}.prom"
+            assert main(["serve", "--config", str(config), "--seed", "7",
+                         "-o", str(report),
+                         "--metrics-out", str(metrics)]) == 0
+            outs.append(report.read_text() + metrics.read_text())
+        capsys.readouterr()
+        assert outs[0] == outs[1]
+
+    def test_serve_bad_json_one_line_diagnostic(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools", "serve",
+             "--config", str(bad)],
+            capture_output=True, text=True)
+        assert result.returncode == 1
+        assert "repro.tools: error:" in result.stderr
+        assert "Traceback" not in result.stderr
+        assert len(result.stderr.strip().splitlines()) == 1
+
+    def test_serve_unknown_tenant_key_one_line_diagnostic(self, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {"tenants": {"t": {"rte": 10}}}))
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.tools", "serve",
+             "--config", str(bad)],
+            capture_output=True, text=True)
+        assert result.returncode == 1
+        assert "repro.tools: error:" in result.stderr
+        assert "unknown keys" in result.stderr
+        assert "Traceback" not in result.stderr
