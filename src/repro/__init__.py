@@ -15,7 +15,8 @@ inventory and substitution map, and EXPERIMENTS.md for paper-vs-measured
 results.
 """
 
-from .errors import ReproError
+from .engine import ENGINE_KINDS, EngineConfig
+from .errors import ConfigError, ReproError
 from .core import (
     O0,
     O1,
@@ -42,6 +43,9 @@ from .toolchain import CompileOutput, compile_lfi, compile_native
 __version__ = "1.0.0"
 
 __all__ = [
+    "ENGINE_KINDS",
+    "EngineConfig",
+    "ConfigError",
     "ReproError",
     "O0",
     "O1",

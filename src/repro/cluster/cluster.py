@@ -31,10 +31,11 @@ the byte-identity contract (DESIGN.md §12).
 from __future__ import annotations
 
 import multiprocessing
-import queue as _queue
+import multiprocessing.connection as _mpconn
 import time
 from typing import Dict, List, Optional, Set
 
+from ..engine import EngineConfig
 from ..errors import ClusterError
 from ..obs.metrics import MetricsHub, merge_snapshots
 from ..robustness.supervisor import ON_FAILURE, RestartPolicy, WorkerSupervisor
@@ -56,16 +57,19 @@ class _WorkerHandle:
     """Front-end bookkeeping for one worker process (one per shard)."""
 
     __slots__ = ("worker_id", "generation", "process", "job_queue",
-                 "ctrl_queue", "outstanding", "completed", "dead",
-                 "draining")
+                 "ctrl_queue", "result_conn", "outstanding", "completed",
+                 "dead", "draining")
 
     def __init__(self, worker_id: int, generation: int, process, job_queue,
-                 ctrl_queue):
+                 ctrl_queue, result_conn):
         self.worker_id = worker_id
         self.generation = generation
         self.process = process
         self.job_queue = job_queue
         self.ctrl_queue = ctrl_queue
+        #: Read end of this worker's private result pipe (the worker holds
+        #: the only write end, so worker death reads as a clean EOF).
+        self.result_conn = result_conn
         self.outstanding: Set[int] = set()
         self.completed = 0
         #: Crashed and not restarted; excluded from routing and rechecks.
@@ -78,7 +82,7 @@ class Cluster:
     """Batching front-end over N sharded runtime workers."""
 
     def __init__(self, workers: int = 2, *,
-                 engine: str = "superblock",
+                 engine=None,
                  timeslice: int = 50_000,
                  warm_spawn: bool = True,
                  budget: int = DEFAULT_JOB_BUDGET,
@@ -91,8 +95,10 @@ class Cluster:
                  poll_interval: float = 0.05):
         if workers < 1:
             raise ValueError("a cluster needs at least one worker")
+        # The config dict crosses the fork boundary; ship the EngineConfig
+        # as its dict form so workers rebuild it without pickling classes.
         self._config = {
-            "engine": engine,
+            "engine": EngineConfig.coerce(engine).to_dict(),
             "timeslice": timeslice,
             "warm_spawn": warm_spawn,
             "budget": budget,
@@ -102,8 +108,10 @@ class Cluster:
             "seed": seed,
         }
         self._ctx = multiprocessing.get_context("fork")
-        self._result_queue = self._ctx.Queue()
         self._poll_interval = poll_interval
+        #: Read ends of dead/retired workers, polled until EOF so results
+        #: they reported just before dying are not lost.
+        self._zombie_conns: List = []
         self.supervisor = WorkerSupervisor(restart_policy, seed=seed)
         self._jobs: Dict[int, Job] = {}
         self._results: Dict[int, JobResult] = {}
@@ -127,16 +135,24 @@ class Cluster:
     def _launch(self, worker_id: int, generation: int) -> _WorkerHandle:
         job_queue = self._ctx.Queue()
         ctrl_queue = self._ctx.Queue()
+        # One private result pipe per worker.  A shared results queue is a
+        # single point of failure: a worker dying mid-put (chaos kill, OOM)
+        # leaves the shared write lock held or a partial frame in the
+        # shared pipe, wedging every other worker's reporting forever.
+        # With a single writer per pipe and the parent's write end closed
+        # right after fork, a worker crash is always observable as EOF.
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=worker_main,
             args=(worker_id, generation, self._config, job_queue,
-                  self._result_queue, ctrl_queue),
+                  send_conn, ctrl_queue),
             daemon=True,
             name=f"repro-cluster-w{worker_id}g{generation}",
         )
         process.start()
+        send_conn.close()
         return _WorkerHandle(worker_id, generation, process, job_queue,
-                             ctrl_queue)
+                             ctrl_queue, recv_conn)
 
     def close(self) -> None:
         """Shut every worker down (idempotent)."""
@@ -154,6 +170,13 @@ class Cluster:
             if handle.process.is_alive():
                 handle.process.terminate()
                 handle.process.join(timeout=1.0)
+        for handle in self._workers:
+            if handle.result_conn is not None:
+                handle.result_conn.close()
+                handle.result_conn = None
+        for conn in self._zombie_conns:
+            conn.close()
+        self._zombie_conns.clear()
 
     def __enter__(self) -> "Cluster":
         return self
@@ -267,43 +290,72 @@ class Cluster:
             self._check_workers()
             self._launch_due_restarts()
             self._reap_drained()
-            try:
-                payload = self._result_queue.get(
-                    timeout=self._poll_interval)
-            except _queue.Empty:
-                continue
-            kind = payload.get("kind", "result")
-            job_id = payload["job_id"]
-            if job_id in self._results:
-                continue  # duplicate after a crash re-dispatch
-            if kind == "checkpoint":
-                self._checkpoints[job_id] = payload["checkpoint"]
-                self.ops.host_counter("job.checkpoints").inc()
-                continue
-            if kind == "yield":
-                self._checkpoints[job_id] = payload["checkpoint"]
-                self.ops.host_counter("job.checkpoints").inc()
-                self.ops.host_counter("job.yields").inc()
-                self._forget_assignment(job_id)
-                self._redispatch_to_target(job_id)
-                continue
-            if kind == "bounce":
-                self._forget_assignment(job_id)
-                self._dispatch(self._jobs[job_id])
-                continue
-            self._forget_assignment(job_id, completed=True)
-            self._migrations.pop(job_id, None)
-            self._checkpoints.pop(job_id, None)
-            result = JobResult.from_payload(payload)
-            restore_s = result.diag.get("restore_s")
-            if restore_s is not None:
-                self.ops.host_counter("job.restores").inc()
-                self.ops.host_histogram(
-                    "job.restore_latency_s",
-                    RESTORE_LATENCY_BUCKETS).observe(restore_s)
-            self._results[job_id] = result
-            pending.discard(job_id)
+            for payload in self._poll_results():
+                self._absorb(payload, pending)
         return [self._results[job_id] for job_id in sorted(self._results)]
+
+    def _poll_results(self) -> List[dict]:
+        """Collect every payload ready on any worker's result pipe.
+
+        Dead workers' pipes stay in the poll set (``_zombie_conns``) until
+        EOF, so anything they reported just before crashing is recovered
+        before their jobs are re-dispatched from checkpoints.
+        """
+        conns = [h.result_conn for h in self._workers
+                 if h.result_conn is not None]
+        conns.extend(self._zombie_conns)
+        if not conns:
+            time.sleep(self._poll_interval)
+            return []
+        payloads = []
+        for conn in _mpconn.wait(conns, timeout=self._poll_interval):
+            try:
+                payloads.append(conn.recv())
+            except (EOFError, OSError):
+                self._retire_conn(conn)
+        return payloads
+
+    def _retire_conn(self, conn) -> None:
+        """Close a result pipe that hit EOF and drop it from the poll set."""
+        if conn in self._zombie_conns:
+            self._zombie_conns.remove(conn)
+        for handle in self._workers:
+            if handle.result_conn is conn:
+                handle.result_conn = None
+        conn.close()
+
+    def _absorb(self, payload: dict, pending: Set[int]) -> None:
+        kind = payload.get("kind", "result")
+        job_id = payload["job_id"]
+        if job_id in self._results:
+            return  # duplicate after a crash re-dispatch
+        if kind == "checkpoint":
+            self._checkpoints[job_id] = payload["checkpoint"]
+            self.ops.host_counter("job.checkpoints").inc()
+            return
+        if kind == "yield":
+            self._checkpoints[job_id] = payload["checkpoint"]
+            self.ops.host_counter("job.checkpoints").inc()
+            self.ops.host_counter("job.yields").inc()
+            self._forget_assignment(job_id)
+            self._redispatch_to_target(job_id)
+            return
+        if kind == "bounce":
+            self._forget_assignment(job_id)
+            self._dispatch(self._jobs[job_id])
+            return
+        self._forget_assignment(job_id, completed=True)
+        self._migrations.pop(job_id, None)
+        self._checkpoints.pop(job_id, None)
+        result = JobResult.from_payload(payload)
+        restore_s = result.diag.get("restore_s")
+        if restore_s is not None:
+            self.ops.host_counter("job.restores").inc()
+            self.ops.host_histogram(
+                "job.restore_latency_s",
+                RESTORE_LATENCY_BUCKETS).observe(restore_s)
+        self._results[job_id] = result
+        pending.discard(job_id)
 
     def _forget_assignment(self, job_id: int,
                            completed: bool = False) -> None:
@@ -328,6 +380,11 @@ class Cluster:
             if handle.dead or handle.draining or handle.process.is_alive():
                 continue
             in_flight = sorted(handle.outstanding)
+            if handle.result_conn is not None:
+                # Keep reading the dead worker's pipe until EOF; results
+                # it sent before crashing are still buffered there.
+                self._zombie_conns.append(handle.result_conn)
+                handle.result_conn = None
             restart = self.supervisor.worker_crashed(
                 handle.worker_id, handle.process.pid or 0,
                 handle.process.exitcode, len(in_flight))
@@ -375,6 +432,10 @@ class Cluster:
         for handle in [h for h in self._workers if h.draining]:
             if handle.process.is_alive():
                 continue
+            if handle.result_conn is not None:
+                # Bounces/yields it sent on the way out are still buffered.
+                self._zombie_conns.append(handle.result_conn)
+                handle.result_conn = None
             if handle.outstanding:
                 # Drained worker died before yielding everything (e.g.
                 # chaos); its jobs resume from checkpoints elsewhere.

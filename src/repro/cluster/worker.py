@@ -29,6 +29,7 @@ import time
 from typing import Callable, Optional
 
 from ..checkpoint import Checkpoint, CheckpointSession, restore_job
+from ..engine import EngineConfig
 from ..errors import Deadlock, RuntimeError_
 from ..memory.layout import SandboxLayout
 from ..obs.metrics import MetricsHub
@@ -302,8 +303,17 @@ def _cleanup(runtime: Runtime, pool: Optional[WarmPool],
 
 
 def worker_main(worker_id: int, generation: int, config: dict,
-                job_queue, result_queue, ctrl_queue=None) -> None:
+                job_queue, result_conn, ctrl_queue=None) -> None:
     """Worker process entry point: pull jobs until the shutdown sentinel.
+
+    ``result_conn`` is this worker's *private* pipe to the front-end.
+    Results are sent synchronously from the worker's main thread — there
+    is no feeder thread and no lock shared with any other process, so a
+    crash (even an ``os._exit`` mid-job) can never wedge another worker's
+    reporting, and the front-end sees a clean EOF once the sole writer is
+    gone.  (A shared ``multiprocessing.Queue`` here deadlocked the whole
+    cluster whenever a chaos kill landed while the dying worker's feeder
+    thread held the shared write lock.)
 
     Fault injection, all seeded from ``config["seed"]`` via
     :func:`derive_worker_seed` so chaos runs replay exactly:
@@ -323,8 +333,11 @@ def worker_main(worker_id: int, generation: int, config: dict,
     draining mode — the current job yields and every queued job bounces
     back unexecuted (elastic scale-down).
     """
+    engine = config.get("engine")
+    if isinstance(engine, dict):
+        engine = EngineConfig.from_dict(engine)
     runtime = Runtime(model=None,
-                      engine=config.get("engine", "superblock"),
+                      engine=engine,
                       timeslice=config.get("timeslice", 50_000))
     pool = WarmPool(runtime) if config.get("warm_spawn", True) else None
     budget = config.get("budget", DEFAULT_JOB_BUDGET)
@@ -365,7 +378,7 @@ def worker_main(worker_id: int, generation: int, config: dict,
             return
         drain_ctrl()
         if state["draining"]:
-            result_queue.put({"kind": "bounce", "job_id": job["job_id"]})
+            result_conn.send({"kind": "bounce", "job_id": job["job_id"]})
             continue
         taken += 1
         fatal = crash_after is not None and taken > crash_after
@@ -382,7 +395,7 @@ def worker_main(worker_id: int, generation: int, config: dict,
             runtime.machine.run_hooks.add(blow)
 
         def sink(ckpt, _job_id=job["job_id"]):
-            result_queue.put({"kind": "checkpoint", "job_id": _job_id,
+            result_conn.send({"kind": "checkpoint", "job_id": _job_id,
                               "checkpoint": ckpt.to_bytes(),
                               "seq": ckpt.stats.get("seq", 0)})
 
@@ -403,4 +416,4 @@ def worker_main(worker_id: int, generation: int, config: dict,
             # Diagnostic only — placement is intentionally outside the
             # deterministic result key (it varies with worker count).
             payload["diag"]["worker"] = worker_id
-        result_queue.put(payload)
+        result_conn.send(payload)

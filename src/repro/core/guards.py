@@ -29,7 +29,6 @@ from ..arm64.operands import (
 )
 from ..arm64.registers import Reg, X
 from ..errors import GuardError as _GuardError
-from ..errors import deprecated_reexport
 from .constants import BASE_REG, LO32_REG, SCRATCH_REG
 
 __all__ = [
@@ -48,10 +47,6 @@ __all__ = [
 #: (DESIGN.md §9): each class matches one Table-3 transformation family.
 GUARD_CLASSES = ("memory", "branch", "sp", "x30", "hoist")
 
-
-# GuardError now lives in repro.errors; importing it from here still
-# works for one release but emits a DeprecationWarning.
-__getattr__ = deprecated_reexport(__name__, {"GuardError": _GuardError})
 
 
 def tag(inst: Instruction, klass: str) -> Instruction:

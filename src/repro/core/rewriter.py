@@ -23,7 +23,6 @@ from ..arm64.operands import Extended, Imm, Label, Mem, OFFSET, Shifted
 from ..arm64.program import Directive, LabelDef, Program
 from ..arm64.registers import Reg, SP, X
 from ..errors import RewriteError as _RewriteError
-from ..errors import deprecated_reexport
 from . import guards
 from .branches import fix_branch_ranges
 from .constants import (
@@ -38,12 +37,7 @@ from .hoisting import HoistPlan, plan_hoisting
 from .options import O2, RewriteOptions
 
 __all__ = ["RewriteStats", "RewriteResult", "rewrite_program",
-           "rewrite_assembly"]
-
-
-# RewriteError now lives in repro.errors; importing it from here still
-# works for one release but emits a DeprecationWarning.
-__getattr__ = deprecated_reexport(__name__, {"RewriteError": _RewriteError})
+           "rewrite_assembly", "is_runtime_call_load"]
 
 
 @dataclass
@@ -206,6 +200,13 @@ def _is_runtime_call_load(block: List[Instruction], i: int) -> bool:
     return (nxt.mnemonic == "blr" and len(nxt.operands) == 1
             and isinstance(nxt.operands[0], Reg)
             and nxt.operands[0].index == 30)
+
+
+#: Public name for the runtime-call idiom predicate.  The superblock
+#: engine uses the exact same recognizer at translation time to fuse the
+#: pair into a springboard closure, so rewriter provenance and emulator
+#: fusion can never disagree about what constitutes a runtime call.
+is_runtime_call_load = _is_runtime_call_load
 
 
 def _check_reserved(block: List[Instruction], i: int) -> None:

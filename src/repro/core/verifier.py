@@ -30,7 +30,6 @@ from ..arm64.instructions import Instruction
 from ..arm64.operands import Extended, Imm, Mem, OFFSET
 from ..arm64.registers import Reg
 from ..errors import VerificationError as _VerificationError
-from ..errors import deprecated_reexport
 from .constants import (
     ADDRESS_INDICES,
     BRANCH_TARGET_INDICES,
@@ -153,12 +152,6 @@ class VerificationResult:
                 f"{len(self.violations)} violation(s): {summary}"
             )
 
-
-# VerificationError now lives in repro.errors; importing it from here
-# still works for one release but emits a DeprecationWarning.
-__getattr__ = deprecated_reexport(__name__, {
-    "VerificationError": _VerificationError,
-})
 
 
 def _is_guard(inst: Instruction, dest_index: int) -> bool:

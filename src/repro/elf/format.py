@@ -15,14 +15,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..errors import ElfError as _ElfError
-from ..errors import deprecated_reexport
 
 __all__ = ["ElfSegment", "ElfImage", "PF_R", "PF_W", "PF_X",
            "read_elf", "write_elf"]
-
-# ElfError now lives in repro.errors; importing it from here still
-# works for one release but emits a DeprecationWarning.
-__getattr__ = deprecated_reexport(__name__, {"ElfError": _ElfError})
 
 PF_X = 0x1
 PF_W = 0x2

@@ -31,6 +31,7 @@ from ..arm64.operands import (
     VecReg,
 )
 from ..arm64.registers import LR, Reg
+from ..engine import EngineConfig
 from ..hooks import HookRegistry
 from ..memory.pages import MemoryFault, PagedMemory
 from . import costs
@@ -111,25 +112,31 @@ def _to_signed(value: int, bits: int) -> int:
 
 _F32 = struct.Struct("<f")
 _F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F32_UNPACK = _F32.unpack
+_F64_UNPACK = _F64.unpack
+_U32_PACK = _U32.pack
+_U64_PACK = _U64.pack
 
 
 def _bits_to_float(bits: int, width: int) -> float:
     if width == 64:
-        return _F64.unpack(struct.pack("<Q", bits & MASK64))[0]
-    return _F32.unpack(struct.pack("<I", bits & MASK32))[0]
+        return _F64_UNPACK(_U64_PACK(bits & MASK64))[0]
+    return _F32_UNPACK(_U32_PACK(bits & MASK32))[0]
 
 
 def _float_to_bits(value: float, width: int) -> int:
     try:
         if width == 64:
-            return struct.unpack("<Q", _F64.pack(value))[0]
-        return struct.unpack("<I", _F32.pack(value))[0]
+            return _U64.unpack(_F64.pack(value))[0]
+        return _U32.unpack(_F32.pack(value))[0]
     except (OverflowError, ValueError):
         # Overflow to infinity with the right sign.
         inf = math.inf if value > 0 else -math.inf
         if width == 64:
-            return struct.unpack("<Q", _F64.pack(inf))[0]
-        return struct.unpack("<I", _F32.pack(inf))[0]
+            return _U64.unpack(_F64.pack(inf))[0]
+        return _U32.unpack(_F32.pack(inf))[0]
 
 
 class _Costing:
@@ -183,18 +190,28 @@ class Machine:
                  model: Optional[costs.CostModel] = None,
                  tlb: Optional[Tlb] = None,
                  tlb_walk_scale: float = 1.0,
-                 engine: str = "superblock"):
-        if engine not in ("superblock", "stepping"):
-            raise ValueError(f"unknown engine {engine!r}")
+                 engine=None):
+        config = EngineConfig.coerce(engine)
         self.memory = memory
         self.cpu = CpuState()
         self.instret = 0
         self.model = model
-        #: Execution engine: "superblock" dispatches translated blocks
-        #: from :meth:`run`; "stepping" forces the per-instruction
+        #: The validated :class:`~repro.engine.EngineConfig` selecting and
+        #: tuning the execution engine.  Read by the superblock engine at
+        #: construction (chaining, cache cap).
+        self.engine_config = config
+        #: Execution engine kind: "superblock" dispatches translated
+        #: blocks from :meth:`run`; "stepping" forces the per-instruction
         #: interpreter.  Both produce bit-identical architectural state
         #: and cycle counts (tests/test_superblock.py).
-        self.engine = engine
+        self.engine = config.kind
+        #: Runtime springboard for fused runtime calls, or ``None``.
+        #: Set by :class:`repro.runtime.runtime.Runtime`; called by the
+        #: superblock dispatch loops with the host entry address after a
+        #: fused ``ldr``/``blr`` pair lands on a registered host entry.
+        #: Returns ``(fresh_fuel, force_step)`` to resume translated
+        #: execution inline, or raises to end the slice.
+        self.springboard = None
         #: When True, :meth:`run` uses the stepping interpreter even if
         #: the superblock engine is enabled.  The runtime sets this from
         #: the scheduled process (fault injection, per-step tooling).

@@ -8,7 +8,7 @@ This module predecodes straight-line instruction runs into immutable
 register-list access, precomputed immediates and branch targets) and
 dispatches whole blocks from :meth:`Machine.run`.
 
-Design rules (DESIGN.md §10):
+Design rules (DESIGN.md §10, §15):
 
 * a block ends at the first branch, trap instruction (``svc``/``brk``/
   ``hlt``), registered host entry, undecodable word, or page boundary —
@@ -16,6 +16,18 @@ Design rules (DESIGN.md §10):
 * verified guard sequences named by the loader's ``guard_map`` are fused
   into a single op that performs both architectural effects and both cost
   updates in one dispatch;
+* a block ending in the runtime-call idiom (``ldr x30, [x21, #n]``;
+  ``blr x30`` — the rewriter's :func:`is_runtime_call_load` predicate)
+  carries a fused ``rtcall`` closure; the dispatch loops execute it and
+  hand control straight to the runtime's *springboard*
+  (``machine.springboard``) instead of raising ``HostCallTrap``, and the
+  springboard resumes translated execution inline when the scheduler
+  allows (DESIGN.md §15);
+* blocks chain: each block caches its observed fall-through and taken
+  successors, validated by a ``valid`` flag plus start-pc check, so hot
+  loops dispatch block-to-block without a host-entry check or cache
+  lookup; invalidation clears ``valid``, which lazily unlinks every
+  chain through the dead block;
 * cycle accounting replicates the stepping interpreter's float operation
   order exactly, so cycle counts, trace timestamps, and metrics snapshots
   are bit-identical between engines;
@@ -42,6 +54,7 @@ from ..arm64.instructions import Instruction, access_bytes
 from ..arm64.operands import Extended, Imm, Mem, POST_INDEX, PRE_INDEX, \
     Shifted, ShiftedImm, VecReg, canonical_condition
 from ..arm64.registers import LR, Reg
+from ..core.rewriter import is_runtime_call_load
 from ..memory.pages import MemoryFault
 from .cpu import MASK32, MASK64
 
@@ -56,6 +69,17 @@ K_GENERIC = 3  # exec() -> (taken, mem_addr); original handler semantics
 K_FUSED_MEM = 4     # guard add + load/store; exec() -> address
 K_FUSED_BRANCH = 5  # guard add + br/blr/ret; exec() -> None, always taken
 K_FUSED_SIMPLE = 6  # sp guard pair; exec() -> None
+
+#: Costed blocks are compiled into specialized closures once they show
+#: signs of re-execution; cold blocks stay on the interpretive loop so
+#: straight-line code never pays the ~2ms/block codegen cost (measured:
+#: threshold 8 compiles only the hot loop bodies of the Table-4 kernels
+#: while 2 compiles every init block for no wall-clock gain).
+_COMPILE_THRESHOLD = 8
+#: Blocks larger than this stay interpretive: generated source for a
+#: page-spanning straight-line run would cost more to compile than the
+#: dispatch overhead it saves.
+_COMPILE_MAX_OPS = 256
 
 _TERMINATOR_BASES = frozenset([
     "b", "bl", "br", "blr", "ret", "cbz", "cbnz", "tbz", "tbnz",
@@ -80,28 +104,70 @@ def _pc_fix(cpu, pc, call):
 
 
 class Superblock:
-    """An immutable predecoded straight-line run of instructions.
+    """A predecoded straight-line run of instructions.
 
     ``ops`` is a list of ``(kind, exec, pc, icost, lat, uses, defs,
     fused)`` tuples; ``count`` is the run's fuel cost (fused ops count
     two, a trailing trap instruction counts one for the attempt);
     ``next_pc`` is the fall-through address; ``end`` is the exclusive
     byte bound used for invalidation overlap checks.
+
+    ``rtcall`` is the fused runtime-call tail (``ldr x30, [x21, #n]`` +
+    ``blr x30``): ``(exec, ldr_pc, ldr_icost, ldr_lat, ldr_uses,
+    ldr_defs, blr_icost, blr_lat, blr_uses, blr_defs)``, or ``None``.
+    The pair is kept out of ``ops`` so the per-op dispatch stays
+    branch-free; its two instructions are included in ``count``.
+
+    ``link_fall``/``link_taken`` are the block-chaining inline caches
+    (observed successor blocks); ``valid`` is cleared on invalidation so
+    stale links are rejected by the dispatch loops without needing to
+    find and unlink every predecessor.
+
+    ``fn`` is the block's specialized closure, compiled by
+    :meth:`SuperblockEngine._compile_block` once ``hits`` shows the
+    block re-executing under the cost model; None until then (and
+    forever, on the uncosted path).
     """
 
-    __slots__ = ("start", "end", "ops", "count", "next_pc")
+    __slots__ = ("start", "end", "ops", "count", "next_pc", "rtcall",
+                 "valid", "link_fall", "link_taken", "fn", "hits")
 
     def __init__(self, start: int, end: int, ops: list, count: int,
-                 next_pc: int):
+                 next_pc: int, rtcall: Optional[tuple] = None):
         self.start = start
         self.end = end
         self.ops = ops
         self.count = count
         self.next_pc = next_pc
+        self.rtcall = rtcall
+        self.valid = True
+        self.link_fall: Optional["Superblock"] = None
+        self.link_taken: Optional["Superblock"] = None
+        self.fn = None
+        self.hits = 0
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return (f"Superblock({self.start:#x}..{self.end:#x}, "
                 f"{len(self.ops)} ops, fuel {self.count})")
+
+
+class _BlockFault(Exception):
+    """Carrier for partial cost state when a compiled block traps.
+
+    A compiled block keeps ``t_issue``/``t_done``/``n`` in locals for
+    speed; when an op raises mid-block those partials must still be
+    committed (exactly as the interpretive loop's ``finally`` would), so
+    the generated code wraps any escaping exception with the state
+    accumulated so far and the dispatch loop unwraps it.
+    """
+
+    __slots__ = ("t_issue", "t_done", "n", "exc")
+
+    def __init__(self, t_issue, t_done, n, exc):
+        self.t_issue = t_issue
+        self.t_done = t_done
+        self.n = n
+        self.exc = exc
 
 
 # ---------------------------------------------------------------------------
@@ -772,6 +838,24 @@ def _t_blr(cpu, regs, t_i, link):
     return run
 
 
+def _t_rtcall(cpu, regs, read, base_i, imm, link):
+    """``ldr x30, [x21, #n]`` + ``blr x30`` — the runtime-call pair (§4.4).
+
+    Net architectural effect of executing both instructions: ``x30``
+    holds the return address and ``pc`` the loaded entry point.  A fault
+    in the table load raises before any register is written, exactly as
+    the stepping ``ldr`` would.  Returns the table address for the
+    dispatch loop's TLB/cache charging.
+    """
+    def run():
+        addr = (regs[base_i] + imm) & MASK64
+        target = int.from_bytes(read(addr, 8), "little")
+        regs[30] = link
+        cpu.pc = target
+        return addr
+    return run
+
+
 def _t_trap(cpu, pc, exc_factory):
     def run():
         cpu.pc = pc
@@ -929,14 +1013,28 @@ class SuperblockEngine:
         self._M = M
         self.machine = machine
         self._blocks: Dict[int, Superblock] = {}
+        config = getattr(machine, "engine_config", None)
+        #: Whether the dispatch loops follow block successor links.
+        self.chaining = config.chaining if config is not None else True
+        #: Translation-cache flush threshold (None = unbounded).
+        self.block_cache_cap = (config.block_cache_cap
+                                if config is not None else None)
         #: Counters exposed for tests and diagnostics.
         self.translations = 0
         self.invalidations = 0
+        self.chain_links = 0
+        self.fused_calls = 0
+        self.compiled_blocks = 0
 
     # -- cache management ---------------------------------------------------
 
     def invalidate_range(self, address: int, size: int) -> None:
-        """Drop every block overlapping ``[address, address + size)``."""
+        """Drop every block overlapping ``[address, address + size)``.
+
+        Dropped blocks are also marked ``valid = False`` so chained
+        predecessors reject their stale links on the next dispatch —
+        invalidation unlinks chains without a reverse-edge index.
+        """
         blocks = self._blocks
         if not blocks:
             return
@@ -944,12 +1042,14 @@ class SuperblockEngine:
         dead = [start for start, block in blocks.items()
                 if start < end and block.end > address]
         for start in dead:
-            del blocks[start]
+            blocks.pop(start).valid = False
         if dead:
             self.invalidations += len(dead)
 
     def invalidate_all(self) -> None:
         self.invalidations += len(self._blocks)
+        for block in self._blocks.values():
+            block.valid = False
         self._blocks.clear()
 
     @property
@@ -983,6 +1083,188 @@ class SuperblockEngine:
             step()
         raise self._M.OutOfFuel()
 
+    def _compile_block(self, block: Superblock):
+        """Compile ``block.ops`` into one specialized straight-line closure.
+
+        The interpretive costed loop pays per-op Python overhead on every
+        execution: an 8-tuple unpack, a kind switch, and scoreboard loops
+        over ``uses``/``defs``.  For a block that re-executes (a loop
+        body) all of that is static, so it is unrolled here into
+        generated source with every static quantity — issue costs,
+        latencies, scoreboard keys, pcs, model miss charges — folded in
+        as literals (``repr`` of a float round-trips exactly).  The
+        generated function performs the *same float operations in the
+        same order* as the interpretive loop, so cycle totals stay
+        bit-identical; compilation is pure host-side speedup
+        (DESIGN.md §15).
+
+        Partial state on a mid-block trap is carried out via
+        :class:`_BlockFault` so the dispatch loop commits exactly what
+        the interpretive loop would have.  Returns None when the block
+        is not worth compiling (empty or oversized ops list).
+        """
+        ops = block.ops
+        if not ops or len(ops) > _COMPILE_MAX_OPS:
+            return None
+        machine = self.machine
+        model = machine.model
+        has_tlb = machine.tlb is not None
+        has_l1 = machine.l1 is not None
+        walk_f = model.tlb_walk_cycles * machine.tlb_walk_scale
+        walk = repr(walk_f)
+        walk_bw = repr(walk_f * model.tlb_walk_issue_fraction)
+        l1_cyc = repr(model.l1_miss_cycles)
+        l1_bw = repr(model.l1_miss_issue)
+        l2_cyc = repr(model.l2_miss_cycles)
+        l2_bw = repr(model.l2_miss_issue)
+        tb = model.taken_branch_cost
+
+        lines: List[str] = []
+        emit = lines.append
+
+        def tail(ind, uses, lat_expr, defs):
+            # Everything after the issue charge: dep-chain start, result
+            # latency, scoreboard writes, completion horizon.
+            emit(f"{ind}start = t_issue")
+            for key in uses:
+                emit(f"{ind}t = ready_get({key!r})")
+                emit(f"{ind}if t is not None and t > start:")
+                emit(f"{ind}    start = t")
+            emit(f"{ind}finish = start + {lat_expr}")
+            for key in defs:
+                emit(f"{ind}ready[{key!r}] = finish")
+            emit(f"{ind}if finish > t_done:")
+            emit(f"{ind}    t_done = finish")
+
+        def probe_checks(ind):
+            if has_tlb:
+                emit(f"{ind}if not tlb_lookup(addr):")
+                emit(f"{ind}    extra += {walk}")
+                emit(f"{ind}    bw += {walk_bw}")
+            if has_l1:
+                emit(f"{ind}if not l1_lookup(addr):")
+                emit(f"{ind}    extra += {l1_cyc}")
+                emit(f"{ind}    bw += {l1_bw}")
+                emit(f"{ind}    if not l2_lookup(addr):")
+                emit(f"{ind}        extra += {l2_cyc}")
+                emit(f"{ind}        bw += {l2_bw}")
+
+        def guarded(ind, stmt, pc):
+            emit(f"{ind}try:")
+            emit(f"{ind}    {stmt}")
+            emit(f"{ind}except MemoryFault as fault:")
+            emit(f"{ind}    cpu.pc = {pc}")
+            emit(f"{ind}    raise MemTrap({pc}, fault) from None")
+
+        ind = "            "
+        for i, (kind, _exec, pc, icost, lat, uses, defs, fused) in \
+                enumerate(ops):
+            ic, lt = repr(icost), repr(lat)
+            if kind == 0:  # simple
+                guarded(ind, f"e{i}()", pc)
+                emit(f"{ind}t_issue += {ic}")
+                tail(ind, uses, lt, defs)
+                emit(f"{ind}n += 1")
+            elif kind == 1:  # load/store
+                guarded(ind, f"addr = e{i}()", pc)
+                emit(f"{ind}extra = 0.0")
+                emit(f"{ind}bw = 0.0")
+                probe_checks(ind)
+                emit(f"{ind}t_issue += {ic} + bw")
+                tail(ind, uses, f"{lt} + extra", defs)
+                emit(f"{ind}n += 1")
+            elif kind == 2:  # branch terminator
+                guarded(ind, f"taken = e{i}()", pc)
+                emit(f"{ind}if taken:")
+                emit(f"{ind}    t_issue += {repr(icost + tb)}")
+                emit(f"{ind}else:")
+                emit(f"{ind}    t_issue += {ic}")
+                tail(ind, uses, lt, defs)
+                emit(f"{ind}n += 1")
+            elif kind == 4:  # fused guard + load/store
+                g_icost, g_lat, g_uses, g_defs, a_pc = fused
+                g_ic, g_lt = repr(g_icost), repr(g_lat)
+                emit(f"{ind}try:")
+                emit(f"{ind}    addr = e{i}()")
+                emit(f"{ind}except MemoryFault as fault:")
+                # The guard half retired before the access faulted.
+                emit(f"{ind}    t_issue += {g_ic}")
+                tail(ind + "    ", g_uses, g_lt, g_defs)
+                emit(f"{ind}    n += 1")
+                emit(f"{ind}    cpu.pc = {a_pc}")
+                emit(f"{ind}    raise MemTrap({a_pc}, fault) from None")
+                emit(f"{ind}t_issue += {g_ic}")
+                tail(ind, g_uses, g_lt, g_defs)
+                emit(f"{ind}extra = 0.0")
+                emit(f"{ind}bw = 0.0")
+                probe_checks(ind)
+                emit(f"{ind}t_issue += {ic} + bw")
+                tail(ind, uses, f"{lt} + extra", defs)
+                emit(f"{ind}n += 2")
+            elif kind == 5:  # fused guard + indirect branch
+                g_icost, g_lat, g_uses, g_defs, _a_pc = fused
+                guarded(ind, f"e{i}()", pc)
+                emit(f"{ind}t_issue += {repr(g_icost)}")
+                tail(ind, g_uses, repr(g_lat), g_defs)
+                emit(f"{ind}t_issue += {repr(icost + tb)}")
+                tail(ind, uses, lt, defs)
+                emit(f"{ind}n += 2")
+                emit(f"{ind}taken = True")
+            elif kind == 6:  # fused sp guard pair
+                g_icost, g_lat, g_uses, g_defs, _a_pc = fused
+                guarded(ind, f"e{i}()", pc)
+                emit(f"{ind}t_issue += {repr(g_icost)}")
+                tail(ind, g_uses, repr(g_lat), g_defs)
+                emit(f"{ind}t_issue += {ic}")
+                tail(ind, uses, lt, defs)
+                emit(f"{ind}n += 2")
+            else:  # generic handler semantics
+                guarded(ind, f"taken, addr = e{i}()", pc)
+                emit(f"{ind}extra = 0.0")
+                emit(f"{ind}bw = 0.0")
+                emit(f"{ind}if addr is not None:")
+                probe_checks(ind + "    ")
+                emit(f"{ind}if taken:")
+                emit(f"{ind}    t_issue += {repr(icost + tb)} + bw")
+                emit(f"{ind}else:")
+                emit(f"{ind}    t_issue += {ic} + bw")
+                tail(ind, uses, f"{lt} + extra", defs)
+                emit(f"{ind}n += 1")
+
+        binds = ", ".join(
+            [f"e{i}=ops[{i}][1]" for i in range(len(ops))]
+            + ["ready=ready", "ready_get=ready_get", "cpu=cpu",
+               "tlb_lookup=tlb_lookup", "l1_lookup=l1_lookup",
+               "l2_lookup=l2_lookup", "MemoryFault=MemoryFault",
+               "MemTrap=MemTrap", "BlockFault=BlockFault"])
+        src = "\n".join(
+            ["def _factory(ops, ready, ready_get, cpu, tlb_lookup,",
+             "             l1_lookup, l2_lookup, MemoryFault, MemTrap,",
+             "             BlockFault):",
+             f"    def run(t_issue, t_done, {binds}):",
+             "        n = 0",
+             "        taken = False",
+             "        try:",
+             *lines,
+             "        except BaseException as exc:",
+             "            raise BlockFault(t_issue, t_done, n, exc) "
+             "from None",
+             "        return t_issue, t_done, n, taken",
+             "    return run",
+             ""])
+        namespace: Dict[str, object] = {}
+        exec(compile(src, f"<superblock {block.start:#x}>", "exec"),
+             namespace)
+        costing = machine._costing
+        fn = namespace["_factory"](
+            ops, costing.ready, costing.ready.get, machine.cpu,
+            machine.tlb.lookup if has_tlb else None,
+            machine.l1.lookup if has_l1 else None,
+            machine.l2.lookup if machine.l2 is not None else None,
+            MemoryFault, self._M.MemTrap, _BlockFault)
+        self.compiled_blocks += 1
+        return fn
+
     def _run_costed(self, remaining: int) -> int:
         M = self._M
         machine = self.machine
@@ -1007,25 +1289,68 @@ class SuperblockEngine:
         tb = model.taken_branch_cost
         ready = costing.ready
         ready_get = ready.get
+        springboard = machine.springboard
+        chaining = self.chaining
         t_issue = costing.t_issue
         t_done = costing.t_done
         n = 0
+        links = 0
         kind = pc = fused = None
+        prev = None
+        prev_taken = False
         try:
             while True:
                 pc0 = cpu.pc
-                if pc0 in host:
-                    raise M.HostCallTrap(pc0, pc0)
-                block = blocks.get(pc0)
+                block = None
+                if prev is not None:
+                    nxt = prev.link_taken if prev_taken else prev.link_fall
+                    if nxt is not None and nxt.valid and nxt.start == pc0:
+                        # Chain follow: a valid linked block can never
+                        # start at a host entry (registering one
+                        # invalidates every covering block), so the host
+                        # check and the cache lookup are both skipped.
+                        block = nxt
+                        links += 1
                 if block is None:
-                    block = translate(pc0)
+                    if pc0 in host:
+                        raise M.HostCallTrap(pc0, pc0)
+                    block = blocks.get(pc0)
+                    if block is None:
+                        block = translate(pc0)
+                    if prev is not None:
+                        if prev_taken:
+                            prev.link_taken = block
+                        else:
+                            prev.link_fall = block
                 count = block.count
                 if count > remaining:
                     return remaining
-                taken = False
+                fn = block.fn
+                if fn is None and block.hits >= 0:
+                    block.hits += 1
+                    if block.hits >= _COMPILE_THRESHOLD:
+                        fn = block.fn = self._compile_block(block)
+                        if fn is None:
+                            block.hits = -1  # not compilable; stop trying
+                if fn is not None:
+                    # Compiled fast path: the interpretive loop below
+                    # sees an empty op list and falls through to the
+                    # shared block tail with ``taken`` from the closure.
+                    try:
+                        t_issue, t_done, dn, taken = fn(t_issue, t_done)
+                    except _BlockFault as bf:
+                        t_issue = bf.t_issue
+                        t_done = bf.t_done
+                        n += bf.n
+                        raise bf.exc from None
+                    n += dn
+                    ops_iter = ()
+                else:
+                    taken = False
+                    ops_iter = block.ops
                 try:
                     for kind, exec_, pc, icost, lat, uses, defs, fused \
-                            in block.ops:
+                            in ops_iter:
                         if kind == 0:  # simple: no memory, never taken
                             exec_()
                             t_issue += icost
@@ -1225,15 +1550,88 @@ class SuperblockEngine:
                         raise M.MemTrap(a_pc, fault) from None
                     cpu.pc = pc
                     raise M.MemTrap(pc, fault) from None
-                if not taken:
-                    cpu.pc = block.next_pc
+                rtcall = block.rtcall
+                if rtcall is None:
+                    if not taken:
+                        cpu.pc = block.next_pc
+                    remaining -= count
+                    if remaining == 0:
+                        raise M.OutOfFuel()
+                    if chaining:
+                        prev = block
+                        prev_taken = taken
+                    continue
+                # Fused runtime-call tail: execute the pair, charge the
+                # table load exactly like a kind-1 op and the blr exactly
+                # like a taken branch, then springboard into the runtime
+                # without raising HostCallTrap.
+                (exec_, r_pc, l_icost, l_lat, l_uses, l_defs,
+                 b_icost, b_lat, b_uses, b_defs) = rtcall
+                try:
+                    addr = exec_()
+                except MemoryFault as fault:
+                    cpu.pc = r_pc
+                    raise M.MemTrap(r_pc, fault) from None
+                extra = 0.0
+                bw = 0.0
+                if tlb_lookup is not None and not tlb_lookup(addr):
+                    extra += walk
+                    bw += walk_bw
+                if l1_lookup is not None and not l1_lookup(addr):
+                    extra += l1_cyc
+                    bw += l1_bw
+                    if not l2_lookup(addr):
+                        extra += l2_cyc
+                        bw += l2_bw
+                t_issue += l_icost + bw
+                start = t_issue
+                for key in l_uses:
+                    t = ready_get(key)
+                    if t is not None and t > start:
+                        start = t
+                finish = start + l_lat + extra
+                for key in l_defs:
+                    ready[key] = finish
+                if finish > t_done:
+                    t_done = finish
+                t_issue += b_icost + tb
+                start = t_issue
+                for key in b_uses:
+                    t = ready_get(key)
+                    if t is not None and t > start:
+                        start = t
+                finish = start + b_lat
+                for key in b_defs:
+                    ready[key] = finish
+                if finish > t_done:
+                    t_done = finish
+                n += 2
                 remaining -= count
                 if remaining == 0:
+                    # The blr was the slice's last fueled instruction:
+                    # preemption wins over the call, as in stepping (the
+                    # next slice's host check raises HostCallTrap).
                     raise M.OutOfFuel()
+                prev = None
+                entry = cpu.pc
+                if springboard is None or entry not in host:
+                    continue
+                costing.t_issue = t_issue
+                costing.t_done = t_done
+                machine.instret += n
+                n = 0
+                try:
+                    remaining, force_step = springboard(entry)
+                finally:
+                    t_issue = costing.t_issue
+                    t_done = costing.t_done
+                if force_step:
+                    return remaining
         finally:
             costing.t_issue = t_issue
             costing.t_done = t_done
             machine.instret += n
+            self.chain_links += links
 
     def _run_fast(self, remaining: int) -> int:
         """Block dispatch without a cost model (fuzz oracles)."""
@@ -1243,16 +1641,33 @@ class SuperblockEngine:
         host = machine._host_entries
         blocks = self._blocks
         translate = self._translate
+        springboard = machine.springboard
+        chaining = self.chaining
         n = 0
+        links = 0
         kind = pc = fused = None
+        prev = None
+        prev_taken = False
         try:
             while True:
                 pc0 = cpu.pc
-                if pc0 in host:
-                    raise M.HostCallTrap(pc0, pc0)
-                block = blocks.get(pc0)
+                block = None
+                if prev is not None:
+                    nxt = prev.link_taken if prev_taken else prev.link_fall
+                    if nxt is not None and nxt.valid and nxt.start == pc0:
+                        block = nxt
+                        links += 1
                 if block is None:
-                    block = translate(pc0)
+                    if pc0 in host:
+                        raise M.HostCallTrap(pc0, pc0)
+                    block = blocks.get(pc0)
+                    if block is None:
+                        block = translate(pc0)
+                    if prev is not None:
+                        if prev_taken:
+                            prev.link_taken = block
+                        else:
+                            prev.link_fall = block
                 count = block.count
                 if count > remaining:
                     return remaining
@@ -1284,13 +1699,39 @@ class SuperblockEngine:
                         raise M.MemTrap(a_pc, fault) from None
                     cpu.pc = pc
                     raise M.MemTrap(pc, fault) from None
-                if not taken:
-                    cpu.pc = block.next_pc
+                rtcall = block.rtcall
+                if rtcall is None:
+                    if not taken:
+                        cpu.pc = block.next_pc
+                    remaining -= count
+                    if remaining == 0:
+                        raise M.OutOfFuel()
+                    if chaining:
+                        prev = block
+                        prev_taken = taken
+                    continue
+                try:
+                    rtcall[0]()
+                except MemoryFault as fault:
+                    r_pc = rtcall[1]
+                    cpu.pc = r_pc
+                    raise M.MemTrap(r_pc, fault) from None
+                n += 2
                 remaining -= count
                 if remaining == 0:
                     raise M.OutOfFuel()
+                prev = None
+                entry = cpu.pc
+                if springboard is None or entry not in host:
+                    continue
+                machine.instret += n
+                n = 0
+                remaining, force_step = springboard(entry)
+                if force_step:
+                    return remaining
         finally:
             machine.instret += n
+            self.chain_links += links
 
     # -- translation --------------------------------------------------------
 
@@ -1308,6 +1749,11 @@ class SuperblockEngine:
         host = machine._host_entries
         page_size = memory.page_size
         limit = (start // page_size + 1) * page_size
+        cap = self.block_cache_cap
+        if cap is not None and len(self._blocks) >= cap:
+            # Deterministic full flush: same translation pressure on every
+            # run with the same config, so counters stay reproducible.
+            self.invalidate_all()
 
         decoded: List[Tuple[int, Instruction, object]] = []
         pc = start
@@ -1331,9 +1777,34 @@ class SuperblockEngine:
                 break
             pc += 4
 
+        last_pc = decoded[-1][0]
+
+        # Springboard fusion: a block ending in the verified runtime-call
+        # idiom (``ldr x30, [x21, #n]; blr x30`` — recognized by the same
+        # predicate the rewriter uses) compiles the pair into a single
+        # closure so the dispatch loop can hand control to the runtime
+        # springboard without trap-based unwinding.
+        rtcall = None
+        if len(decoded) >= 2 and decoded[-1][1].base == "blr" \
+                and is_runtime_call_load(
+                    [decoded[-2][1], decoded[-1][1]], 0):
+            ldr_pc, ldr_inst, _ = decoded[-2]
+            blr_pc, blr_inst, _ = decoded[-1]
+            form = self._mem_form(ldr_inst.mem)
+            if form is not None and form[0] == "imm" and not form[2]:
+                exec_ = _t_rtcall(machine.cpu, machine.cpu.regs,
+                                  memory.read, form[1], form[3],
+                                  blr_pc + 4)
+                l_icost, l_lat, l_uses, l_defs = self._cost_entry(ldr_inst)
+                b_icost, b_lat, b_uses, b_defs = self._cost_entry(blr_inst)
+                rtcall = (exec_, ldr_pc, l_icost, l_lat, l_uses, l_defs,
+                          b_icost, b_lat, b_uses, b_defs)
+                decoded = decoded[:-2]
+                self.fused_calls += 1
+
         guard_map = machine.guard_map
         ops = []
-        count = 0
+        count = 2 if rtcall is not None else 0
         i = 0
         while i < len(decoded):
             pc_i, inst, handler = decoded[i]
@@ -1348,8 +1819,8 @@ class SuperblockEngine:
             count += 1
             i += 1
 
-        last_pc = decoded[-1][0]
-        block = Superblock(start, last_pc + 4, ops, count, last_pc + 4)
+        block = Superblock(start, last_pc + 4, ops, count, last_pc + 4,
+                           rtcall)
         self._blocks[start] = block
         self.translations += 1
         return block

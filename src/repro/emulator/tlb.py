@@ -25,17 +25,31 @@ class Tlb:
         self._sets: List[List[int]] = [[] for _ in range(self.sets)]
         self.hits = 0
         self.misses = 0
+        # Shift/mask addressing when the geometry is a power of two
+        # (always true for the built-in models); falls back to div/mod.
+        self._shift = (page_size.bit_length() - 1
+                       if page_size & (page_size - 1) == 0 else None)
+        self._mask = (self.sets - 1
+                      if self.sets & (self.sets - 1) == 0 else None)
 
     def lookup(self, address: int) -> bool:
         """True on hit; on miss the translation is filled (LRU evict)."""
-        page = address // self.page_size
-        index = page % self.sets
-        entries = self._sets[index]
-        if page in entries:
-            entries.remove(page)
-            entries.append(page)
-            self.hits += 1
-            return True
+        shift = self._shift
+        page = (address >> shift if shift is not None
+                else address // self.page_size)
+        mask = self._mask
+        entries = self._sets[page & mask if mask is not None
+                             else page % self.sets]
+        if entries:
+            # MRU shortcut: re-touching the newest entry is a no-op move.
+            if entries[-1] == page:
+                self.hits += 1
+                return True
+            if page in entries:
+                entries.remove(page)
+                entries.append(page)
+                self.hits += 1
+                return True
         self.misses += 1
         if len(entries) >= self.ways:
             entries.pop(0)

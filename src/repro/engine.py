@@ -1,0 +1,106 @@
+"""Unified engine configuration: one object selects and tunes the engine.
+
+Every surface that used to take an ad-hoc ``engine="superblock"`` string
+kwarg (:class:`~repro.runtime.runtime.Runtime`,
+:class:`~repro.cluster.cluster.Cluster`, the serving gateway and its
+tenant policies, the CLI) now accepts a single frozen
+:class:`EngineConfig` value carrying the engine kind plus the superblock
+engine's tuning knobs:
+
+* ``kind`` — ``"superblock"`` (translated blocks, the default) or
+  ``"stepping"`` (the per-instruction reference interpreter);
+* ``fuel`` — scheduler timeslice override in instructions (``None``
+  keeps the owning surface's default);
+* ``block_cache_cap`` — maximum number of cached superblocks before the
+  translation cache is flushed (``None`` = unbounded);
+* ``chaining`` — link each block to its observed successor so hot loops
+  dispatch without a cache lookup (DESIGN.md §15);
+* ``batch_abi`` — whether :data:`RuntimeCall.BATCH` is serviced
+  (disabled, it returns ``-ENOSYS`` to the guest).
+
+Passing a bare string still works for one release and coerces to
+``EngineConfig(kind=...)`` with a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from .errors import ConfigError
+
+__all__ = ["EngineConfig", "ENGINE_KINDS"]
+
+ENGINE_KINDS = ("superblock", "stepping")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Validated, immutable engine selection + tuning (see module docs)."""
+
+    kind: str = "superblock"
+    fuel: Optional[int] = None
+    block_cache_cap: Optional[int] = None
+    chaining: bool = True
+    batch_abi: bool = True
+
+    def __post_init__(self):
+        if self.kind not in ENGINE_KINDS:
+            raise ConfigError(
+                f"unknown engine {self.kind!r} (expected one of "
+                f"{', '.join(ENGINE_KINDS)})")
+        if self.fuel is not None and (
+                not isinstance(self.fuel, int) or self.fuel < 1):
+            raise ConfigError(f"fuel must be a positive int, got {self.fuel!r}")
+        if self.block_cache_cap is not None and (
+                not isinstance(self.block_cache_cap, int)
+                or self.block_cache_cap < 1):
+            raise ConfigError(
+                f"block_cache_cap must be a positive int, got "
+                f"{self.block_cache_cap!r}")
+
+    @classmethod
+    def coerce(cls, value, default: Optional["EngineConfig"] = None,
+               stacklevel: int = 3) -> "EngineConfig":
+        """Accept an :class:`EngineConfig`, a kind string, or ``None``.
+
+        ``None`` resolves to ``default`` (or a default-constructed
+        config).  A bare string is the pre-PR-9 kwarg form: it still
+        works for one release but emits a :class:`DeprecationWarning`.
+        """
+        if value is None:
+            return default if default is not None else cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            warnings.warn(
+                f"passing engine={value!r} as a string is deprecated; "
+                f"pass repro.EngineConfig(kind={value!r}) instead",
+                DeprecationWarning,
+                stacklevel=stacklevel,
+            )
+            return cls(kind=value)
+        raise ConfigError(
+            f"engine must be an EngineConfig (or, deprecated, a kind "
+            f"string); got {value!r}")
+
+    def resolve_timeslice(self, default: int) -> int:
+        """The scheduler timeslice this config implies."""
+        return self.fuel if self.fuel is not None else default
+
+    # -- serialization (cluster config dicts, checkpoint round-trips) -------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineConfig":
+        if not isinstance(data, dict):
+            raise ConfigError(f"engine config dict expected, got {data!r}")
+        unknown = set(data) - {
+            "kind", "fuel", "block_cache_cap", "chaining", "batch_abi"}
+        if unknown:
+            raise ConfigError(
+                f"unknown engine config keys: {sorted(unknown)}")
+        return cls(**data)

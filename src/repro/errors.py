@@ -20,6 +20,7 @@ import warnings as _warnings
 
 __all__ = [
     "ReproError",
+    "ConfigError",
     "VerificationError",
     "GuardError",
     "RewriteError",
@@ -38,6 +39,15 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class for every error raised by the repro package."""
+
+
+class ConfigError(ValueError, ReproError):
+    """An engine or gateway configuration is invalid or conflicting.
+
+    Raised by :class:`repro.engine.EngineConfig` validation and by
+    surfaces that refuse a config instead of silently clamping it (the
+    gateway's timeslice/checkpoint-interval pinning).
+    """
 
 
 class VerificationError(ReproError):

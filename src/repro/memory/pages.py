@@ -193,16 +193,39 @@ class PagedMemory:
                 raise MemoryFault("perm", address, access)
 
     def read(self, address: int, size: int) -> bytes:
+        # Fast path: a permitted access within one page (the common case
+        # for aligned word loads).  Any failure falls back to the checked
+        # path below so the fault kind/message stays identical.
+        ps = self.page_size
+        page = address // ps
+        offset = address - page * ps
+        if offset + size <= ps:
+            perms = self._perms.get(page)
+            if perms is not None and perms & PERM_R:
+                buf = self._pages.get(page)
+                if buf is not None:
+                    return bytes(buf[offset:offset + size])
         self._check(address, size, PERM_R, "read")
         return self._raw_read(address, size)
 
     def write(self, address: int, data: bytes) -> None:
-        self._check(address, len(data), PERM_W, "write")
+        size = len(data)
+        ps = self.page_size
+        page = address // ps
+        offset = address - page * ps
+        if (offset + size <= ps and self.write_observer is None
+                and not self._cow):
+            perms = self._perms.get(page)
+            if perms is not None and perms & PERM_W:
+                buf = self._pages.get(page)
+                if buf is not None:
+                    buf[offset:offset + size] = data
+                    return
+        self._check(address, size, PERM_W, "write")
         if self.write_observer is not None:
-            self.write_observer(address, len(data))
+            self.write_observer(address, size)
         if self._cow:
-            self._break_cow(address // self.page_size,
-                            (address + len(data) - 1) // self.page_size)
+            self._break_cow(page, (address + size - 1) // ps)
         self._raw_write(address, data)
 
     def fetch(self, address: int) -> int:

@@ -522,6 +522,7 @@ def probe_word(word: int, seed: int = 0) -> List[str]:
     its abstract post-hull.  Returns human-readable issue strings.
     """
     from ..emulator.machine import Machine, Trap
+    from ..engine import EngineConfig
     from ..memory import PERM_RW, PERM_RX, PagedMemory, SandboxLayout
     from ..memory.pages import MemoryFault
 
@@ -536,7 +537,7 @@ def probe_word(word: int, seed: int = 0) -> List[str]:
     memory.protect(code, PAGE_SIZE, PERM_RX)
     data = layout.base + 0x2000_0000
     memory.map_region(data, 4 * PAGE_SIZE, PERM_RW)
-    machine = Machine(memory, engine="stepping")
+    machine = Machine(memory, engine=EngineConfig(kind="stepping"))
     rng = random.Random(seed)
     base = layout.base
     cpu = machine.cpu

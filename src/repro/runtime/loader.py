@@ -13,7 +13,6 @@ from typing import Optional
 from ..core.verifier import Verifier, VerifierPolicy
 from ..elf.format import ElfImage, PF_W, PF_X
 from ..errors import LoadError as _LoadError
-from ..errors import deprecated_reexport
 from ..memory.layout import PAGE_SIZE, SandboxLayout
 from ..memory.pages import PERM_R, PERM_RW, PERM_RX, PagedMemory
 from .process import Process, ProcessState, StdStream
@@ -24,10 +23,6 @@ __all__ = ["load_image", "clone_process", "alias_slot",
 
 DEFAULT_STACK_SIZE = 1024 * 1024
 
-
-# LoadError now lives in repro.errors; importing it from here still
-# works for one release but emits a DeprecationWarning.
-__getattr__ = deprecated_reexport(__name__, {"LoadError": _LoadError})
 
 
 def _page_span(addr: int, size: int) -> tuple:

@@ -23,9 +23,9 @@ from typing import Callable, Dict, List, Optional
 from ..core.verifier import VerifierPolicy
 from ..elf.format import ElfImage, read_elf
 from ..emulator.costs import CostModel
+from ..engine import EngineConfig
 from ..errors import Deadlock as _Deadlock
 from ..errors import RuntimeError_ as _RuntimeError
-from ..errors import deprecated_reexport
 from ..hooks import HookRegistry
 from ..emulator.machine import (
     BrkTrap,
@@ -50,7 +50,8 @@ from .loader import DEFAULT_STACK_SIZE, alias_slot, clone_process, load_image
 from .process import Process, ProcessState, StdStream
 from .scheduler import Scheduler
 from .syscalls import BLOCK, EXITED, HANDLERS, SWITCH
-from .table import RuntimeCall, call_for_entry, entry_address
+from .table import HOST_ENTRY_BASE, RuntimeCall, call_for_entry, \
+    entry_address
 from .vfs import Pipe, PipeEnd, Vfs
 
 __all__ = ["Runtime", "ProcessFault", "ResourceQuota"]
@@ -66,13 +67,18 @@ CALL_OVERHEAD_CYCLES = 58.0
 #: registers: roughly 50 cycles end to end (§5.3).
 YIELD_CYCLES = 44.0
 
+_YIELD_CALLS = frozenset((RuntimeCall.YIELD, RuntimeCall.YIELD_TO))
 
-# RuntimeError_ and Deadlock now live in repro.errors; importing them
-# from here still works for one release but emits a DeprecationWarning.
-__getattr__ = deprecated_reexport(__name__, {
-    "RuntimeError_": _RuntimeError,
-    "Deadlock": _Deadlock,
-})
+
+class _SliceExit(Exception):
+    """Control-flow signal from the springboard to :meth:`Runtime._run_one`.
+
+    Raised after the springboard has fully closed the current slice
+    (state saved, trace emitted, call dispatched, instructions accounted)
+    and translated execution must *not* resume inline — the scheduler
+    loop takes over exactly as if the slice had ended by trap.
+    """
+
 
 
 @dataclass
@@ -107,11 +113,20 @@ class Runtime:
                  stack_size: int = DEFAULT_STACK_SIZE,
                  first_slot: int = 1,
                  tlb_walk_scale: float = 1.0,
-                 engine: str = "superblock"):
+                 engine=None):
+        #: The validated engine selection + tuning.  ``engine`` accepts an
+        #: :class:`~repro.engine.EngineConfig` (canonical), ``None`` (the
+        #: defaults), or — deprecated, one release — a bare kind string.
+        config = EngineConfig.coerce(engine)
+        self.engine_config = config
+        #: Whether the vectored BATCH runtime call is serviced (the
+        #: handler returns ``-ENOSYS`` to the guest when disabled).
+        self.batch_abi = config.batch_abi
+        timeslice = config.resolve_timeslice(timeslice)
         self.memory = PagedMemory()
         self.machine = Machine(self.memory, model=model,
                                tlb_walk_scale=tlb_walk_scale,
-                               engine=engine)
+                               engine=config)
         self.model = model
         self.vfs = Vfs()
         self.scheduler = Scheduler(timeslice=timeslice)
@@ -140,8 +155,15 @@ class Runtime:
         #: host-side runtime work); used by the containment auditor to
         #: attribute memory writes.
         self._in_guest = False
+        #: Slice anchors for the scheduling slice currently being run by
+        #: :meth:`_run_one` (instance state, not locals, so the fused
+        #: springboard can close one slice and open the next inline).
+        self._run_start = 0
+        self._slice_before = 0
+        self._slice_start_cycles = 0.0
         for call in RuntimeCall.ALL:
             self.machine.register_host_entry(entry_address(call), call)
+        self.machine.springboard = self._springboard
 
     def _emit(self, event) -> None:
         if self.tracer is not None:
@@ -415,9 +437,11 @@ class Runtime:
 
     def _dispatch(self, proc: Process, call: int) -> None:
         handler = HANDLERS.get(call)
-        entry_cycles = self.machine.cycles
+        # ``entry_cycles`` only feeds span emission; skip the costing
+        # property walk on untraced runs (the springboard hot path).
+        entry_cycles = self.machine.cycles if self.tracer is not None else 0.0
         self.machine.add_cycles(
-            YIELD_CYCLES if call in (RuntimeCall.YIELD, RuntimeCall.YIELD_TO)
+            YIELD_CYCLES if call in _YIELD_CALLS
             else CALL_OVERHEAD_CYCLES,
             kind="call",
         )
@@ -540,44 +564,114 @@ class Runtime:
         self._run_one(runnable)
 
     def _run_one(self, proc: Process) -> None:
+        machine = self.machine
         self._switch_to(proc)
-        before = self.machine.instret
-        slice_start = self.machine.cycles
-        reason = "exit"
+        self._run_start = machine.instret
+        self._slice_before = machine.instret
+        self._slice_start_cycles = machine.cycles
         try:
             self._in_guest = True
             try:
-                self.machine.run(fuel=self.scheduler.timeslice)
+                machine.run(fuel=self.scheduler.timeslice)
             finally:
                 self._in_guest = False
+        except _SliceExit:
+            # The springboard fully closed the final slice before raising.
+            return
         except OutOfFuel:
-            reason = "preempt"
+            # A springboard may have switched processes mid-call; every
+            # trap belongs to whoever is current *now*, not to the proc
+            # this call started with.
+            proc = self._current
             self._save(proc)
             self.scheduler.requeue(proc)  # timer preemption
+            self._close_slice(proc, "preempt")
         except HostCallTrap as trap:
-            reason = "call"
+            proc = self._current
             self._save(proc)
-            slice_end = self.machine.cycles
-            self._emit_slice(proc, slice_start, slice_end,
-                             self.machine.instret - before, reason)
+            self._emit_slice(proc, self._slice_start_cycles, machine.cycles,
+                             machine.instret - self._slice_before, "call")
             self._dispatch(proc, call_for_entry(trap.entry))
-            slice_start = None  # already emitted, before the call span
+            self._close_slice(proc, "call", emit=False)
         except MemTrap as trap:
-            reason = "fault"
+            proc = self._current
             self._save(proc)
             self._fault(proc, "segv", str(trap))
+            self._close_slice(proc, "fault")
         except (UnknownInstructionTrap, SvcTrap, BrkTrap, HltTrap) as trap:
-            reason = "fault"
+            proc = self._current
             self._save(proc)
             self._fault(proc, "sigill", str(trap))
-        finally:
-            proc.instructions += self.machine.instret - before
-            if proc.state == ProcessState.RUNNING:
-                proc.state = ProcessState.READY
-        if slice_start is not None:
-            self._emit_slice(proc, slice_start, self.machine.cycles,
-                             self.machine.instret - before, reason)
+            self._close_slice(proc, "fault")
+
+    def _close_slice(self, proc: Process, reason: str,
+                     emit: bool = True) -> None:
+        """Account the just-ended slice and retire the RUNNING state."""
+        machine = self.machine
+        proc.instructions += machine.instret - self._slice_before
+        if proc.state == ProcessState.RUNNING:
+            proc.state = ProcessState.READY
+        if emit:
+            self._emit_slice(proc, self._slice_start_cycles, machine.cycles,
+                             machine.instret - self._slice_before, reason)
         self._check_instruction_quota(proc)
+
+    def _springboard(self, entry: int):
+        """Service a fused runtime call without unwinding the engine.
+
+        Called by the superblock dispatch loops when a fused
+        ``ldr x30, [x21, #n]; blr x30`` pair lands on a registered host
+        entry.  Replicates the ``HostCallTrap`` path of :meth:`_run_one`
+        byte-for-byte — save, slice trace emission, dispatch (which
+        charges ``CALL_OVERHEAD_CYCLES``/``YIELD_CYCLES`` and runs call
+        hooks), instruction accounting, quota check — then decides
+        whether translated execution may resume *inline*:
+
+        * the slice budget must not be spent (bounds one
+          :meth:`_run_one` to ~2 timeslices, so ``run_bounded`` pauses
+          keep landing on slice boundaries);
+        * :meth:`Scheduler.peek` must see a runnable process.  ``peek``
+          is pure, so when resumption is declined the scheduler is
+          untouched and the outer loop's ``pick()`` sequence — and any
+          checkpoint taken at the pause — is identical to stepping's.
+
+        On resume: exactly one ``pick()`` (the one the outer loop would
+        have issued), a context switch, fresh slice anchors, and a
+        ``run_hooks`` refire, exactly like a fresh ``machine.run`` slice.
+        Returns ``(fresh_fuel, force_step)``; ``force_step`` tells the
+        engine to finish the slice in the stepping interpreter (a hook
+        registered a probe, or the new process is in step mode).
+        Raises :class:`_SliceExit` when the slice must end instead.
+        """
+        machine = self.machine
+        scheduler = self.scheduler
+        proc = self._current
+        self._in_guest = False
+        proc.registers = machine.cpu.snapshot()
+        executed = machine.instret - self._slice_before
+        if self.tracer is not None:
+            self._emit_slice(proc, self._slice_start_cycles, machine.cycles,
+                             executed, "call")
+        self._dispatch(proc, (entry - HOST_ENTRY_BASE) // 8)
+        proc.instructions += executed
+        if proc.state == ProcessState.RUNNING:
+            proc.state = ProcessState.READY
+        if self.quotas:
+            self._check_instruction_quota(proc)
+        timeslice = scheduler.timeslice
+        if machine.instret - self._run_start >= timeslice:
+            raise _SliceExit()
+        if scheduler.peek() is None:
+            raise _SliceExit()
+        nxt = scheduler.pick()
+        self._switch_to(nxt)
+        self._slice_before = machine.instret
+        self._slice_start_cycles = machine.cycles
+        self._in_guest = True
+        if machine.run_hooks:
+            machine.run_hooks(machine, timeslice)
+        force_step = bool(machine.force_stepping or machine._step_probes)
+        return timeslice, force_step
 
     def _emit_slice(self, proc: Process, start: float, end: float,
                     instructions: int, reason: str) -> None:

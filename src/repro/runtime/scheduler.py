@@ -102,6 +102,20 @@ class Scheduler:
 
     # -- picking --------------------------------------------------------------
 
+    def peek(self) -> Optional[Process]:
+        """The process :meth:`pick` would return, with no state change.
+
+        Used by the superblock springboard fast path to decide whether
+        translated execution can resume inline: it must not perturb the
+        queues, the epoch counter, or the turn records, so a run paused
+        here checkpoints byte-identically to the stepping engine's.
+        """
+        for queue in (self._active, self._expired):
+            for proc in queue:
+                if proc.state == ProcessState.READY:
+                    return proc
+        return None
+
     def pick(self) -> Optional[Process]:
         """Next runnable process, skipping stale entries."""
         while True:

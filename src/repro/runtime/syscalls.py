@@ -18,13 +18,13 @@ import errno
 from typing import Callable, Dict
 
 from ..memory.layout import PAGE_SIZE
-from ..memory.pages import PERM_RW
+from ..memory.pages import MemoryFault, PERM_RW
 from .process import Process, ProcessState, StdStream
-from .table import RuntimeCall
+from .table import BATCH_MAX_RECORDS, BATCH_RECORD_SIZE, RuntimeCall
 from ..errors import VfsError
 from .vfs import FileHandle, PipeEnd, Pipe
 
-__all__ = ["BLOCK", "SWITCH", "EXITED", "HANDLERS"]
+__all__ = ["BLOCK", "SWITCH", "EXITED", "HANDLERS", "BATCHABLE"]
 
 BLOCK = object()
 SWITCH = object()
@@ -245,6 +245,65 @@ def rt_clock(runtime, proc: Process):
     return int(runtime.virtual_ns()) & _MASK64
 
 
+#: Calls serviceable inside one BATCH crossing.  Excluded are the calls
+#: that terminate, fork, or reschedule the caller (EXIT/FORK/WAIT/YIELD/
+#: YIELD_TO) and BATCH itself — those need the full dispatch path.
+BATCHABLE = frozenset({
+    RuntimeCall.OPEN, RuntimeCall.CLOSE, RuntimeCall.READ,
+    RuntimeCall.WRITE, RuntimeCall.LSEEK, RuntimeCall.BRK,
+    RuntimeCall.MMAP, RuntimeCall.MUNMAP, RuntimeCall.GETPID,
+    RuntimeCall.PIPE, RuntimeCall.CLOCK, RuntimeCall.UNLINK,
+})
+
+
+def rt_batch(runtime, proc: Process):
+    """Vectored runtime calls: many crossings for one transition (§15).
+
+    ``x0`` points at an array of ``x1`` 64-byte records, each eight
+    little-endian u64 words ``[call, a0, a1, a2, a3, a4, a5, result]``.
+    Every record is serviced in order through the ordinary handlers and
+    its result word written back; the whole batch costs one transition
+    (one ``CALL_OVERHEAD_CYCLES`` charge in :meth:`Runtime._dispatch`).
+
+    A record whose call would block returns ``-EAGAIN`` in its result
+    word instead of sleeping — batches never block.  Non-batchable or
+    unknown call numbers yield ``-ENOSYS`` per record.  The return value
+    is the number of records serviced, or a negative errno if the batch
+    itself is malformed.
+    """
+    if not getattr(runtime, "batch_abi", True):
+        return -errno.ENOSYS
+    buf, count, *_ = _args(proc)
+    if count > BATCH_MAX_RECORDS:
+        return -errno.EINVAL
+    regs = proc.registers["regs"]
+    saved = regs[:6]
+    try:
+        for i in range(count):
+            rec = proc.pointer(buf) + i * BATCH_RECORD_SIZE
+            try:
+                raw = runtime.memory.read(rec, BATCH_RECORD_SIZE)
+            except MemoryFault:
+                return -errno.EFAULT
+            words = [int.from_bytes(raw[j * 8:j * 8 + 8], "little")
+                     for j in range(8)]
+            call = words[0]
+            if call not in BATCHABLE:
+                result = -errno.ENOSYS
+            else:
+                regs[0:6] = words[1:7]
+                proc.block_pipe = None
+                result = HANDLERS[call](runtime, proc)
+                if result is BLOCK:
+                    proc.block_pipe = None
+                    result = -errno.EAGAIN
+            runtime.memory.write(
+                rec + 56, (result & _MASK64).to_bytes(8, "little"))
+        return count
+    finally:
+        regs[0:6] = saved
+
+
 def rt_unlink(runtime, proc: Process):
     path_ptr, *_ = _args(proc)
     try:
@@ -273,4 +332,5 @@ HANDLERS: Dict[int, Callable] = {
     RuntimeCall.YIELD_TO: rt_yield_to,
     RuntimeCall.CLOCK: rt_clock,
     RuntimeCall.UNLINK: rt_unlink,
+    RuntimeCall.BATCH: rt_batch,
 }

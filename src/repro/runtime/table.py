@@ -26,8 +26,9 @@ from typing import Dict
 from ..memory.layout import MAX_SANDBOXES_48BIT, PAGE_SIZE, SANDBOX_SIZE
 
 __all__ = ["RuntimeCall", "RUNTIME_REGION_BASE", "HOST_ENTRY_BASE",
-           "UNMAPPED_ENTRY", "entry_address", "call_for_entry",
-           "build_table_page", "table_offset"]
+           "UNMAPPED_ENTRY", "BATCH_RECORD_SIZE", "BATCH_MAX_RECORDS",
+           "entry_address", "call_for_entry", "build_table_page",
+           "table_offset"]
 
 
 class RuntimeCall:
@@ -50,15 +51,25 @@ class RuntimeCall:
     YIELD_TO = 14
     CLOCK = 15
     UNLINK = 16
+    BATCH = 17
 
-    ALL = tuple(range(17))
+    ALL = tuple(range(18))
     NAMES = {
         EXIT: "exit", OPEN: "open", CLOSE: "close", READ: "read",
         WRITE: "write", LSEEK: "lseek", BRK: "brk", MMAP: "mmap",
         MUNMAP: "munmap", FORK: "fork", WAIT: "wait", GETPID: "getpid",
         PIPE: "pipe", YIELD: "yield", YIELD_TO: "yield_to", CLOCK: "clock",
-        UNLINK: "unlink",
+        UNLINK: "unlink", BATCH: "batch",
     }
+
+
+#: Byte size of one BATCH record: eight little-endian u64 words
+#: ``[call, a0, a1, a2, a3, a4, a5, result]`` — see
+#: :func:`repro.runtime.syscalls.rt_batch` for the exact layout.
+BATCH_RECORD_SIZE = 64
+
+#: Maximum records serviceable by one BATCH crossing.
+BATCH_MAX_RECORDS = 64
 
 
 #: The last 4GiB slot of the 48-bit space is dedicated to the runtime

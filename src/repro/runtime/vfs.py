@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import VfsError as _VfsError
-from ..errors import deprecated_reexport
 
 __all__ = ["Vfs", "FileHandle", "Pipe", "PipeEnd",
            "O_RDONLY", "O_WRONLY", "O_RDWR", "O_CREAT", "O_TRUNC",
@@ -28,10 +27,6 @@ O_APPEND = 0o2000
 
 SEEK_SET, SEEK_CUR, SEEK_END = 0, 1, 2
 
-
-# VfsError now lives in repro.errors; importing it from here still
-# works for one release but emits a DeprecationWarning.
-__getattr__ = deprecated_reexport(__name__, {"VfsError": _VfsError})
 
 
 @dataclass

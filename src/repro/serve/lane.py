@@ -22,6 +22,7 @@ from typing import Optional
 
 from ..cluster.snapshot import WarmPool
 from ..cluster.worker import DEFAULT_JOB_BUDGET, execute_job_steps
+from ..engine import EngineConfig
 from ..runtime.runtime import Runtime
 
 __all__ = ["Lane"]
@@ -31,10 +32,12 @@ class Lane:
     """One serving lane: a private runtime + warm pool + active job."""
 
     def __init__(self, lane_id: int, generation: int = 0,
-                 timeslice: int = 50_000):
+                 timeslice: int = 50_000,
+                 engine: Optional[EngineConfig] = None):
         self.lane_id = lane_id
         self.generation = generation
-        self.runtime = Runtime(model=None, engine="superblock",
+        self.runtime = Runtime(model=None,
+                               engine=EngineConfig.coerce(engine),
                                timeslice=timeslice)
         self.pool = WarmPool(self.runtime)
         self.gen = None               # active execute_job_steps generator

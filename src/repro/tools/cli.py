@@ -9,6 +9,7 @@ from typing import List, Optional
 from ..arm64.decoder import decode_word
 from ..arm64.parser import parse_assembly
 from ..core.options import O0, O1, O2, O2_NO_LOADS, RewriteOptions
+from ..engine import ENGINE_KINDS, EngineConfig
 from ..errors import ReproError, RewriteError
 from ..core.verifier import VerifierPolicy, verify_elf
 from ..elf.format import read_elf, write_elf
@@ -26,6 +27,15 @@ def _options_from(args) -> RewriteOptions:
     if getattr(args, "no_exclusives", False):
         options = options.with_(allow_exclusives=False)
     return options
+
+
+def _engine_from(args) -> EngineConfig:
+    """The :class:`EngineConfig` the shared ``--engine`` flags describe."""
+    return EngineConfig(kind=args.engine_kind,
+                        fuel=args.fuel,
+                        block_cache_cap=args.block_cache_cap,
+                        chaining=not args.no_chaining,
+                        batch_abi=not args.no_batch_abi)
 
 
 def _cmd_rewrite(args) -> int:
@@ -97,7 +107,7 @@ def _cmd_run(args) -> int:
     with open(args.input, "rb") as handle:
         image = read_elf(handle.read())
     model = MACHINE_MODELS.get(args.machine) if args.machine else None
-    runtime = Runtime(model=model)
+    runtime = Runtime(model=model, engine=_engine_from(args))
     policy = VerifierPolicy(sandbox_loads=not args.no_loads)
     proc = runtime.spawn(image, verify=not args.unsafe_no_verify,
                          policy=policy)
@@ -214,7 +224,7 @@ def _spawn_workload(args, setup=None):
     from ..workloads.spec import arena_bss_size, build_benchmark
 
     model = MACHINE_MODELS[args.machine]
-    runtime = Runtime(model=model)
+    runtime = Runtime(model=model, engine=_engine_from(args))
     if setup is not None:
         setup(runtime)
     if args.bench:
@@ -288,7 +298,8 @@ def _cmd_profile(args) -> int:
 
         asm = build_benchmark(args.input, target_instructions=args.target)
         native = run_variant(asm, arena_bss_size(args.input),
-                             native_variant(), MACHINE_MODELS[args.machine])
+                             native_variant(), MACHINE_MODELS[args.machine],
+                             engine=_engine_from(args))
         overhead_cycles = runtime.machine.cycles - native.cycles
         lines.append(
             f"overhead vs native: "
@@ -323,7 +334,8 @@ def _cmd_cluster(args) -> int:
                               options=_options_from(args)).elf)
         for v in range(distinct)
     ]
-    with Cluster(workers=args.workers, warm_spawn=not args.cold) as cluster:
+    with Cluster(workers=args.workers, warm_spawn=not args.cold,
+                 engine=_engine_from(args)) as cluster:
         for i in range(args.jobs):
             cluster.submit(images[i % distinct])
         results = cluster.drain()
@@ -374,7 +386,8 @@ def _cmd_serve(args) -> int:
     if args.lanes is not None:
         gateway_kwargs["lanes"] = args.lanes
 
-    gateway = Gateway(policies, seed=args.seed, **gateway_kwargs)
+    gateway = Gateway(policies, seed=args.seed,
+                      engine=_engine_from(args), **gateway_kwargs)
     results = run_loadgen(gateway, loads, duration, seed=args.seed)
     ok = sum(1 for r in results if r.status == "ok")
     print(f"[{len(results)} requests over {duration:g} virtual s on "
@@ -414,7 +427,8 @@ def _cmd_checkpoint(args) -> int:
     if args.restore:
         with open(args.restore, "rb") as handle:
             ckpt = Checkpoint.from_bytes(handle.read())
-        runtime = Runtime(model=None, timeslice=args.timeslice)
+        runtime = Runtime(model=None, timeslice=args.timeslice,
+                          engine=_engine_from(args))
         proc = restore_job(runtime, ckpt)
         runtime.run_bounded(proc, args.max_insts)
         sys.stdout.write(runtime.stdout_of(proc))
@@ -423,7 +437,8 @@ def _cmd_checkpoint(args) -> int:
               file=sys.stderr)
         return proc.exit_code or 0
 
-    runtime = Runtime(model=None, timeslice=args.timeslice)
+    runtime = Runtime(model=None, timeslice=args.timeslice,
+                      engine=_engine_from(args))
     proc = runtime.spawn(image)
     done = runtime.run_bounded(proc, args.point)
     ckpt = capture_job(runtime, proc,
@@ -468,7 +483,8 @@ def _cmd_migrate(args) -> int:
 
     def run(workers, migrate):
         with Cluster(workers=workers, seed=args.seed,
-                     checkpoint_interval=args.interval) as cluster:
+                     checkpoint_interval=args.interval,
+                     engine=_engine_from(args)) as cluster:
             for program in batch:
                 cluster.submit(program)
             if migrate:
@@ -546,7 +562,25 @@ def _shared_parents():
                      help="rewriter optimization level (paper §6.1)")
     opt.add_argument("--no-exclusives", action="store_true",
                      help="disallow LL/SC (Spectre hardening, §7.1)")
-    return out, seed, opt
+    engine = argparse.ArgumentParser(add_help=False)
+    engine.add_argument("--engine", dest="engine_kind",
+                        default="superblock", choices=ENGINE_KINDS,
+                        help="emulation engine for every runtime the "
+                             "command creates")
+    engine.add_argument("--fuel", type=int, default=None,
+                        help="scheduler timeslice in instructions "
+                             "(EngineConfig.fuel; default: the command's "
+                             "own timeslice)")
+    engine.add_argument("--block-cache-cap", type=int, default=None,
+                        metavar="N",
+                        help="flush the translated-block cache past N "
+                             "blocks (default: unbounded)")
+    engine.add_argument("--no-chaining", action="store_true",
+                        help="disable superblock chaining (every block "
+                             "returns to the dispatch loop)")
+    engine.add_argument("--no-batch-abi", action="store_true",
+                        help="reject RuntimeCall.BATCH with -ENOSYS")
+    return out, seed, opt, engine
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -555,7 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="LFI toolchain: rewrite, compile, verify, run, disasm",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    OUT, SEED, OPT = _shared_parents()
+    OUT, SEED, OPT, ENGINE = _shared_parents()
 
     p = sub.add_parser("rewrite", parents=[OUT, SEED, OPT],
                        help="insert SFI guards into assembly")
@@ -582,7 +616,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-errors", type=int, default=10)
     p.set_defaults(func=_cmd_verify)
 
-    p = sub.add_parser("run", help="run an ELF in the LFI runtime")
+    p = sub.add_parser("run", parents=[ENGINE],
+                       help="run an ELF in the LFI runtime")
     p.add_argument("input")
     p.add_argument("--machine", choices=sorted(MACHINE_MODELS),
                    help="enable the cycle model for this machine")
@@ -632,7 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-insts", type=int, default=None)
 
     p = sub.add_parser(
-        "trace", parents=[OUT, SEED, OPT],
+        "trace", parents=[OUT, SEED, OPT, ENGINE],
         help="run a workload with the obs tracer; export a Chrome trace",
     )
     _add_workload_args(p)
@@ -645,14 +680,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
-        "profile", parents=[OUT, SEED, OPT],
+        "profile", parents=[OUT, SEED, OPT, ENGINE],
         help="attribute cycles to app vs guard classes (Table 4 decomposed)",
     )
     _add_workload_args(p)
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser(
-        "cluster", parents=[OUT, SEED, OPT],
+        "cluster", parents=[OUT, SEED, OPT, ENGINE],
         help="run a synthetic job batch on the sharded cluster runtime",
     )
     p.add_argument("--workers", type=int, default=2,
@@ -668,7 +703,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_cluster)
 
     p = sub.add_parser(
-        "checkpoint", parents=[OPT],
+        "checkpoint", parents=[OPT, ENGINE],
         help="pause a sandbox, snapshot it, optionally verify the resume",
     )
     p.add_argument("input", help="sandbox ELF path, or a Table 4 "
@@ -694,7 +729,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_checkpoint)
 
     p = sub.add_parser(
-        "migrate", parents=[OUT, SEED, OPT],
+        "migrate", parents=[OUT, SEED, OPT, ENGINE],
         help="live-migrate a job mid-batch and verify byte-identity",
     )
     p.add_argument("--workers", type=int, default=2,
@@ -710,7 +745,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_migrate)
 
     p = sub.add_parser(
-        "serve", parents=[OUT, SEED],
+        "serve", parents=[OUT, SEED, ENGINE],
         help="serve a seeded open-loop load through the admission gateway",
     )
     p.add_argument("--config", metavar="PATH",

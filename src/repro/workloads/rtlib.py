@@ -11,9 +11,12 @@ drop in wherever a syscall would be.
 
 from __future__ import annotations
 
-from ..runtime.table import RuntimeCall, table_offset
+from typing import Iterable, Sequence, Tuple
 
-__all__ = ["rtcall", "rt_exit", "prologue", "busy_program", "RuntimeCall"]
+from ..runtime.table import BATCH_RECORD_SIZE, RuntimeCall, table_offset
+
+__all__ = ["rtcall", "rt_exit", "prologue", "busy_program", "mov_imm",
+           "batch_block", "RuntimeCall"]
 
 
 def rtcall(call: int, save_reg: str = "x9") -> str:
@@ -41,6 +44,47 @@ def rt_exit(code_reg: str = "x0") -> str:
 
 def prologue(name: str = "_start") -> str:
     return f".text\n.globl {name}\n{name}:\n"
+
+
+def mov_imm(reg: str, value: int) -> str:
+    """movz/movk sequence materializing a 64-bit immediate in ``reg``."""
+    value &= (1 << 64) - 1
+    lines = [f"\tmovz {reg}, #{value & 0xFFFF}\n"]
+    for shift in (16, 32, 48):
+        part = (value >> shift) & 0xFFFF
+        if part:
+            lines.append(f"\tmovk {reg}, #{part}, lsl #{shift}\n")
+    return "".join(lines)
+
+
+def batch_block(records: Iterable[Tuple[int, Sequence[int]]],
+                buf_reg: str = "x19", scratch: str = "x10",
+                save_reg: str = "x9") -> str:
+    """Emit a ``RuntimeCall.BATCH`` submission of ``records``.
+
+    ``records`` is a sequence of ``(call, args)`` pairs (up to six integer
+    arguments each).  ``buf_reg`` must already hold a pointer to writable
+    guest memory with room for ``len(records) * BATCH_RECORD_SIZE`` bytes;
+    the emitted code fills in the 64-byte records — eight little-endian
+    u64 words ``[call, a0..a5, result]`` — then issues one batch call.
+    The kernel writes each record's result word in place and returns the
+    record count in x0.
+    """
+    asm = ""
+    count = 0
+    for call, args in records:
+        args = list(args)
+        assert len(args) <= 6, f"batch record takes at most 6 args: {args}"
+        words = [int(call)] + args + [0] * (6 - len(args)) + [0]
+        for j, word in enumerate(words):
+            offset = count * BATCH_RECORD_SIZE + j * 8
+            asm += mov_imm(scratch, word)
+            asm += f"\tstr {scratch}, [{buf_reg}, #{offset}]\n"
+        count += 1
+    asm += f"\tmov x0, {buf_reg}\n"
+    asm += mov_imm("x1", count)
+    asm += rtcall(RuntimeCall.BATCH, save_reg=save_reg)
+    return asm
 
 
 def busy_program(value: int = 0, target_instructions: int = 10_000) -> str:

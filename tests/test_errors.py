@@ -64,28 +64,17 @@ OLD_HOMES = [
 ]
 
 
-class TestDeprecatedReexports:
+class TestRemovedReexports:
+    """The one-release import shims from the old module homes are gone."""
+
     @pytest.mark.parametrize("module_name,name", OLD_HOMES,
                              ids=[f"{m}.{n}" for m, n in OLD_HOMES])
-    def test_old_import_warns_and_resolves(self, module_name, name):
+    def test_old_import_location_removed(self, module_name, name):
         import importlib
 
-        import repro.errors
-
         module = importlib.import_module(module_name)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            resolved = getattr(module, name)
-        assert resolved is getattr(repro.errors, name)
-        assert len(caught) == 1
-        assert issubclass(caught[0].category, DeprecationWarning)
-        assert f"repro.errors.{name}" in str(caught[0].message)
-
-    def test_unknown_attribute_still_raises(self):
-        import repro.runtime.vfs as vfs
-
         with pytest.raises(AttributeError):
-            vfs.NoSuchThing
+            getattr(module, name)
 
     def test_package_roots_reexport_silently(self):
         """The package-level re-exports are canonical, not deprecated."""
