@@ -1,21 +1,35 @@
 #!/usr/bin/env python3
 """Attack gallery: what the verifier rejects, and what the guards contain.
 
-Demonstrates the two layers of LFI's security story:
+Demonstrates the layers of LFI's security story:
 
 1. the *static verifier* rejects machine code that could escape
-   (paper §5.2's three properties), and
+   (paper §5.2's three properties);
 2. code that passes verification is *dynamically confined*: wild pointers
    are forced back into the sandbox by the guards, and guard-region /
-   permission traps kill only the offending sandbox.
+   permission traps kill only the offending sandbox; and
+3. under the *speculative* threat model (DESIGN.md §16), the Spectre
+   gallery attacks recover a secret byte through transiently-executed
+   guards at every unhardened level — and leak exactly zero under the
+   fence/mask hardened rewrites.
 
 Run:  python examples/attack_gallery.py
 """
 
-from repro.core import VerificationError, VerifierPolicy, verify_elf
+from repro.core import (
+    O0,
+    O2,
+    O2_FENCE,
+    O2_MASK,
+    VerificationError,
+    VerifierPolicy,
+    verify_elf,
+)
+from repro.engine import SpeculationConfig
 from repro.runtime import ProcessState, Runtime, RuntimeCall
 from repro.toolchain import compile_lfi, compile_native
 from repro.workloads.rtlib import prologue, rt_exit, rtcall
+from repro.workloads.spectre import ATTACKS, measure_attack
 
 REJECTED_ATTACKS = [
     ("raw out-of-sandbox store", "str x0, [x1]"),
@@ -114,10 +128,35 @@ spin:
     assert evil.state == ProcessState.ZOMBIE
 
 
+def demo_spectre_gallery():
+    print("\n== layer 4: the speculative threat model ==")
+    spec = SpeculationConfig(seed=0)
+    titles = {"pht": "Spectre-PHT (bounds-check bypass)",
+              "rsb": "Spectre-RSB (return-stack underflow)"}
+    for attack in sorted(ATTACKS):
+        print(f"  {titles[attack]}:")
+        for label, options in (("O0", O0), ("O2", O2),
+                               ("O2+fence", O2_FENCE), ("O2+mask", O2_MASK)):
+            result = measure_attack(attack, options=options, speculation=spec)
+            recovered = "/".join(
+                "none" if byte is None else f"{byte:#04x}"
+                for byte in result.recovered)
+            verdict = ("SECRET RECOVERED" if result.leakage
+                       else "no leakage")
+            print(f"    [{label:<8}] leakage={result.leakage} "
+                  f"transient-recovered={recovered:<11} {verdict}")
+            if options in (O2_FENCE, O2_MASK):
+                assert result.leakage == 0
+            else:
+                assert result.leakage > 0
+                assert result.recovered == result.secrets
+
+
 def main():
     demo_verifier_rejections()
     demo_wild_pointer_confinement()
     demo_trap_containment()
+    demo_spectre_gallery()
     print("\nAll attacks contained.")
 
 

@@ -15,7 +15,7 @@ inventory and substitution map, and EXPERIMENTS.md for paper-vs-measured
 results.
 """
 
-from .engine import ENGINE_KINDS, EngineConfig
+from .engine import ENGINE_KINDS, EngineConfig, SpeculationConfig
 from .errors import ConfigError, ReproError
 from .core import (
     O0,
@@ -45,6 +45,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ENGINE_KINDS",
     "EngineConfig",
+    "SpeculationConfig",
     "ConfigError",
     "ReproError",
     "O0",

@@ -12,11 +12,21 @@ from .constants import (
     BASE_REG,
     HOIST_REGS,
     LO32_REG,
+    POISON_REG,
     RESERVED_REGS,
     SCRATCH_REG,
 )
 from ..errors import GuardError, RewriteError, VerificationError
-from .options import O0, O1, O2, O2_NO_LOADS, OPT_LEVELS, RewriteOptions
+from .options import (
+    O0,
+    O1,
+    O2,
+    O2_FENCE,
+    O2_MASK,
+    O2_NO_LOADS,
+    OPT_LEVELS,
+    RewriteOptions,
+)
 from .rewriter import (
     RewriteResult,
     RewriteStats,
@@ -37,12 +47,15 @@ __all__ = [
     "BASE_REG",
     "HOIST_REGS",
     "LO32_REG",
+    "POISON_REG",
     "RESERVED_REGS",
     "SCRATCH_REG",
     "O0",
     "O1",
     "O2",
     "O2_NO_LOADS",
+    "O2_FENCE",
+    "O2_MASK",
     "OPT_LEVELS",
     "RewriteOptions",
     "GuardError",

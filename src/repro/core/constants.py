@@ -31,6 +31,13 @@ LO32_REG = X[22]
 #: Hoisting registers for redundant guard elimination (§4.3).
 HOIST_REGS = (X[23], X[24])
 
+#: Speculation poison register (DESIGN.md §16): zero on every
+#: architectural path, all-ones on the transient fall-through of a
+#: mispredicted conditional branch.  Masked guards clear the index with
+#: ``bic`` through it, so wrong-path addresses collapse to a constant.
+#: Reserved only when ``speculation_hardening="mask"`` is selected.
+POISON_REG = X[25]
+
 #: All five reserved general-purpose registers.
 RESERVED_REGS = frozenset({BASE_REG, SCRATCH_REG, LO32_REG, *HOIST_REGS})
 RESERVED_INDICES = frozenset(r.index for r in RESERVED_REGS)

@@ -19,6 +19,7 @@ from typing import List, Optional
 from ..arm64 import isa
 from ..arm64.instructions import Instruction, ins
 from ..arm64.operands import (
+    Cond,
     Extended,
     Imm,
     Mem,
@@ -26,10 +27,11 @@ from ..arm64.operands import (
     POST_INDEX,
     PRE_INDEX,
     Shifted,
+    invert_condition,
 )
-from ..arm64.registers import Reg, X
+from ..arm64.registers import Reg, X, XZR
 from ..errors import GuardError as _GuardError
-from .constants import BASE_REG, LO32_REG, SCRATCH_REG
+from .constants import BASE_REG, LO32_REG, POISON_REG, SCRATCH_REG
 
 __all__ = [
     "GUARD_CLASSES",
@@ -38,14 +40,19 @@ __all__ = [
     "guarded_mem",
     "x30_guard",
     "sp_guard_pair",
+    "speculation_fence",
+    "poison_update",
+    "masked_guard_address",
     "transform_memory_basic",
     "transform_memory_guarded",
+    "transform_memory_masked",
     "transform_indirect_branch",
 ]
 
 #: The guard taxonomy used for provenance and cycle attribution
-#: (DESIGN.md §9): each class matches one Table-3 transformation family.
-GUARD_CLASSES = ("memory", "branch", "sp", "x30", "hoist")
+#: (DESIGN.md §9): each class matches one Table-3 transformation family;
+#: "fence" and "mask" are the Spectre-hardening additions (§16).
+GUARD_CLASSES = ("memory", "branch", "sp", "x30", "hoist", "fence", "mask")
 
 
 
@@ -90,6 +97,51 @@ def sp_guard_pair() -> List[Instruction]:
     return [
         tag(ins("mov", LO32_REG.as_32(), WSP), "sp"),
         tag(ins("add", SP, BASE_REG, LO32_REG), "sp"),
+    ]
+
+
+def speculation_fence() -> Instruction:
+    """A ``dsb`` speculation barrier: the emulator's speculative mode
+    squashes any transient window that reaches one (DESIGN.md §16)."""
+    return tag(ins("dsb"), "fence")
+
+
+def poison_update(condition: str) -> Instruction:
+    """Set the poison register on the transient fall-through of ``b.cond``.
+
+    Placed immediately after a conditional branch::
+
+        b.cond  target
+        csinv   x25, x25, xzr, !cond
+
+    On the architectural fall-through ``cond`` is false, the inverted
+    condition selects ``x25`` and the register stays zero.  When the
+    fall-through executes *transiently* (the branch was actually taken),
+    ``cond`` holds, the inverted condition fails, and ``x25`` becomes
+    ``~xzr`` — all ones — until the squash rolls it back.  ``csinv``
+    leaves the flags untouched, so the branch context survives.
+    """
+    return tag(ins("csinv", POISON_REG, POISON_REG, XZR,
+                   Cond(invert_condition(condition))), "mask")
+
+
+def masked_guard_address(source: Reg, dest: Reg = SCRATCH_REG,
+                         ) -> List[Instruction]:
+    """The speculation-masked guard (§16)::
+
+        bic  w18, wN, w25
+        add  x18, x21, w18, uxtw
+
+    Architecturally ``x25`` is zero and this is the plain §3 guard.  On a
+    poisoned transient path the ``bic`` clears every index bit, so the
+    access collapses to the constant address ``x21`` — the wrong-path
+    footprint carries no secret-dependent bits.
+    """
+    return [
+        tag(ins("bic", dest.as_32(), source.as_32(), POISON_REG.as_32()),
+            "mask"),
+        tag(ins("add", dest, BASE_REG, Extended(dest.as_32(), "uxtw")),
+            "memory"),
     ]
 
 
@@ -201,6 +253,50 @@ def transform_memory_basic(inst: Instruction) -> List[Instruction]:
     return [
         _offset_add(base, offset),
         guard_address(LO32_REG),
+        _with_mem(inst, Mem(SCRATCH_REG)),
+    ]
+
+
+def transform_memory_masked(inst: Instruction) -> List[Instruction]:
+    """The mask-hardened memory transformation (§16).
+
+    Mirrors :func:`transform_memory_basic` but materializes the address
+    through the poison-masked guard, so every non-sp access keeps its
+    index clearable on transient paths.  Immediate displacements ride
+    along (a poisoned access lands at ``x21 + imm`` — constant, and
+    covered by the guard regions like any §3 immediate).
+    """
+    mem = inst.mem
+    if mem is None:
+        raise _GuardError(f"not a memory instruction: {inst}")
+    base = mem.base
+
+    if mem.mode == PRE_INDEX:
+        return [
+            _pre_post_add(base, mem.imm_value),
+            *masked_guard_address(base),
+            _with_mem(inst, Mem(SCRATCH_REG)),
+        ]
+    if mem.mode == POST_INDEX:
+        return [
+            *masked_guard_address(base),
+            _with_mem(inst, Mem(SCRATCH_REG)),
+            _pre_post_add(base, mem.imm_value),
+        ]
+    offset = mem.offset
+    if offset is None:
+        return [*masked_guard_address(base), _with_mem(inst, Mem(SCRATCH_REG))]
+    if isinstance(offset, Imm):
+        if inst.mnemonic in isa.BASE_ONLY_MEMORY and offset.value:
+            raise _GuardError(f"{inst}: immediate not allowed")
+        return [
+            *masked_guard_address(base),
+            _with_mem(inst, Mem(SCRATCH_REG, offset)),
+        ]
+    # Register offsets: fold into w22 first, then mask-guard w22.
+    return [
+        _offset_add(base, offset),
+        *masked_guard_address(LO32_REG),
         _with_mem(inst, Mem(SCRATCH_REG)),
     ]
 

@@ -7,13 +7,20 @@
 * **O2** — adds redundant guard elimination via hoisting registers (§4.3).
 * ``sandbox_loads=False`` — the "no loads" variant: only stores and
   indirect branches are isolated (write-protection-only fault isolation).
+* ``speculation_hardening`` — Spectre hardening (DESIGN.md §16):
+  ``"fence"`` places ``dsb`` speculation barriers on every mispredictable
+  edge; ``"mask"`` poisons transient fall-through paths and clears guard
+  indices through x25 (SLH-style), converting ``ret`` to ``br x30`` so
+  the return-stack predictor never engages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
-__all__ = ["RewriteOptions", "O0", "O1", "O2", "O2_NO_LOADS", "OPT_LEVELS"]
+__all__ = ["RewriteOptions", "O0", "O1", "O2", "O2_NO_LOADS",
+           "O2_FENCE", "O2_MASK", "OPT_LEVELS"]
 
 
 @dataclass(frozen=True)
@@ -35,6 +42,10 @@ class RewriteOptions:
     #: (paper reserves two, x23 and x24, so two interleaved access runs
     #: per basic block can both be hoisted — §4.3).  Ablation knob.
     hoist_registers: int = 2
+    #: Spectre hardening (DESIGN.md §16): ``None`` (off), ``"fence"``
+    #: (speculation barriers on mispredictable edges), or ``"mask"``
+    #: (poison-register index masking).
+    speculation_hardening: Optional[str] = None
 
     def __post_init__(self):
         if self.opt_level not in (0, 1, 2):
@@ -42,14 +53,22 @@ class RewriteOptions:
         if not 0 <= self.hoist_registers <= 2:
             raise ValueError(f"bad hoist register count "
                              f"{self.hoist_registers}")
+        if self.speculation_hardening not in (None, "fence", "mask"):
+            raise ValueError(f"bad speculation hardening "
+                             f"{self.speculation_hardening!r}")
 
     @property
     def zero_instruction_guards(self) -> bool:
-        return self.opt_level >= 1
+        # Masking needs an explicit bic+add guard sequence to clear the
+        # index: a folded [x21, wN, uxtw] access has nowhere to mask.
+        return self.opt_level >= 1 and self.speculation_hardening != "mask"
 
     @property
     def hoisting(self) -> bool:
-        return self.opt_level >= 2
+        # Hoisted guards move the address computation away from the
+        # access, so a transient window could reuse a stale hoist
+        # register; masking disables hoisting rather than weaken it.
+        return self.opt_level >= 2 and self.speculation_hardening != "mask"
 
     def with_(self, **kwargs) -> "RewriteOptions":
         return replace(self, **kwargs)
@@ -59,6 +78,8 @@ class RewriteOptions:
         name = f"O{self.opt_level}"
         if not self.sandbox_loads:
             name += ", no loads"
+        if self.speculation_hardening:
+            name += f", {self.speculation_hardening}"
         return name
 
 
@@ -66,6 +87,9 @@ O0 = RewriteOptions(opt_level=0)
 O1 = RewriteOptions(opt_level=1)
 O2 = RewriteOptions(opt_level=2)
 O2_NO_LOADS = RewriteOptions(opt_level=2, sandbox_loads=False)
+O2_FENCE = RewriteOptions(opt_level=2, speculation_hardening="fence")
+O2_MASK = RewriteOptions(opt_level=2, speculation_hardening="mask")
 
-#: The four configurations of Figure 3.
+#: The four configurations of Figure 3 (the Spectre-hardened variants are
+#: ablations on top, not part of the paper's figure).
 OPT_LEVELS = (O0, O1, O2, O2_NO_LOADS)

@@ -29,6 +29,7 @@ from .constants import (
     ADDRESS_INDICES,
     BASE_REG,
     LO32_REG,
+    POISON_REG,
     RESERVED_INDICES,
     SCRATCH_REG,
     SP_SMALL_IMM,
@@ -55,6 +56,9 @@ class RewriteStats:
     hoist_guards: int = 0
     hoisted_accesses: int = 0
     range_fixed_branches: int = 0
+    fence_guards: int = 0     # dsb speculation barriers (hardening §16)
+    mask_guards: int = 0      # poison updates + masked-index bics (§16)
+    demoted_returns: int = 0  # ret -> br x30 conversions under masking
 
     @property
     def added_instructions(self) -> int:
@@ -81,6 +85,8 @@ class RewriteStats:
             "sp": self.sp_guards,
             "x30": self.x30_guards,
             "hoist": self.hoist_guards,
+            "fence": self.fence_guards,
+            "mask": self.mask_guards,
         }
 
 
@@ -135,6 +141,12 @@ def rewrite_program(program: Program,
         if isinstance(item, LabelDef):
             flush_block()
             out.add(item)
+            if (options.speculation_hardening == "fence"
+                    and section.startswith(".text")):
+                # Taken-edge protection: a mispredicted-taken window
+                # starts at a branch target, i.e. at a label.
+                out.add(guards.speculation_fence())
+                stats.fence_guards += 1
             continue
         if not section.startswith(".text"):
             out.add(item)
@@ -159,8 +171,11 @@ def _rewrite_block(block: List[Instruction], out: Program,
     plan = (plan_hoisting(block, options.sandbox_loads,
                           options.hoist_registers)
             if options.hoisting else HoistPlan())
+    reserved = RESERVED_INDICES
+    if options.speculation_hardening == "mask":
+        reserved = reserved | {POISON_REG.index}
     for i, inst in enumerate(block):
-        _check_reserved(block, i)
+        _check_reserved(block, i, reserved)
         guard_at = plan.guards.get(i)
         if guard_at is not None:
             hoist_reg, base = guard_at
@@ -209,15 +224,20 @@ def _is_runtime_call_load(block: List[Instruction], i: int) -> bool:
 is_runtime_call_load = _is_runtime_call_load
 
 
-def _check_reserved(block: List[Instruction], i: int) -> None:
-    """Reject input that touches reserved registers (-ffixed-reg contract)."""
+def _check_reserved(block: List[Instruction], i: int,
+                    reserved: frozenset = RESERVED_INDICES) -> None:
+    """Reject input that touches reserved registers (-ffixed-reg contract).
+
+    Under mask hardening the poison register (x25) joins the reserved
+    set: application writes would let a transient path clear the poison.
+    """
     inst = block[i]
     if _is_runtime_call_load(block, i):
         return
     if i > 0 and _is_runtime_call_load(block, i - 1) and inst.mnemonic == "blr":
         return
     for reg in list(inst.uses()) + list(inst.defs()):
-        if not reg.is_vector and reg.index in RESERVED_INDICES:
+        if not reg.is_vector and reg.index in reserved:
             raise _RewriteError(
                 f"input uses reserved register {reg}: {inst}"
             )
@@ -241,13 +261,29 @@ def _rewrite_instruction(block: List[Instruction], i: int, out: Program,
         _rewrite_memory(block, i, out, options, stats)
         return
 
+    hardening = options.speculation_hardening
+
     if inst.is_indirect_branch:
         target = inst.operands[0] if inst.operands else X[30]
         if target.index == 30 and not target.is_vector:
-            out.add(inst)  # x30 invariant makes ret/br x30 safe
+            if m == "ret" and hardening == "mask":
+                # br never engages the return-stack predictor, so a
+                # demoted return cannot open an RSB window (§16).
+                out.add(ins("br", X[30]))
+                stats.demoted_returns += 1
+            else:
+                out.add(inst)  # x30 invariant makes ret/br x30 safe
         else:
-            out.add(*guards.transform_indirect_branch(inst))
+            replacement = guards.transform_indirect_branch(inst)
+            if m == "ret" and hardening == "mask":
+                replacement[-1] = ins("br", replacement[-1].operands[0])
+                stats.demoted_returns += 1
+            out.add(*replacement)
             stats.branch_guards += 1
+        if m == "blr" and hardening == "fence":
+            # The instruction after a call is a predicted return site.
+            out.add(guards.speculation_fence())
+            stats.fence_guards += 1
         return
 
     defs = inst.defs()
@@ -260,6 +296,29 @@ def _rewrite_instruction(block: List[Instruction], i: int, out: Program,
         out.add(guards.x30_guard())
         stats.x30_guards += 1
         return
+
+    if hardening is not None and inst.is_branch:
+        if m.startswith("b."):
+            out.add(inst)
+            if hardening == "mask":
+                out.add(guards.poison_update(m[2:]))
+                stats.mask_guards += 1
+            else:
+                out.add(guards.speculation_fence())
+                stats.fence_guards += 1
+            return
+        if m in ("cbz", "cbnz", "tbz", "tbnz"):
+            # Compare/test branches consume no flags, so there is no
+            # condition code to poison with; both levels fence instead.
+            out.add(inst)
+            out.add(guards.speculation_fence())
+            stats.fence_guards += 1
+            return
+        if m == "bl" and hardening == "fence":
+            out.add(inst)
+            out.add(guards.speculation_fence())
+            stats.fence_guards += 1
+            return
 
     out.add(inst)
 
@@ -296,6 +355,13 @@ def _rewrite_memory(block: List[Instruction], i: int, out: Program,
         _after_load_fixups(inst, out, stats)
         return
 
+    if options.speculation_hardening == "mask":
+        out.add(*guards.transform_memory_masked(inst))
+        stats.memory_guards += 1
+        stats.mask_guards += 1
+        _after_load_fixups(inst, out, stats)
+        return
+
     if (options.zero_instruction_guards
             and inst.mnemonic in isa.FULL_ADDRESSING):
         replacement = guards.transform_memory_guarded(inst)
@@ -329,6 +395,10 @@ def _rewrite_sp_access(inst: Instruction, out: Program,
     if (options.zero_instruction_guards
             and inst.mnemonic in isa.FULL_ADDRESSING):
         out.add(_replace_mem(inst, guards.guarded_mem(LO32_REG)))
+    elif options.speculation_hardening == "mask":
+        out.add(*guards.masked_guard_address(LO32_REG))
+        out.add(_replace_mem(inst, Mem(SCRATCH_REG)))
+        stats.mask_guards += 1
     else:
         out.add(guards.guard_address(LO32_REG))
         out.add(_replace_mem(inst, Mem(SCRATCH_REG)))

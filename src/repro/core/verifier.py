@@ -169,6 +169,20 @@ def _is_guard(inst: Instruction, dest_index: int) -> bool:
             and not ext.amount and ext.reg.bits == 32)
 
 
+def _is_masked_index(inst: Instruction) -> bool:
+    """Is this exactly ``bic w18, wN, w25`` (the §16 poison mask)?"""
+    if inst.mnemonic != "bic" or len(inst.operands) != 3:
+        return False
+    rd, rn, rm = inst.operands
+    if not (isinstance(rd, Reg) and rd.is_gpr and rd.bits == 32
+            and rd.index == 18):
+        return False
+    if not (isinstance(rn, Reg) and rn.is_gpr and rn.bits == 32):
+        return False
+    return (isinstance(rm, Reg) and rm.is_gpr and rm.bits == 32
+            and rm.index == 25)
+
+
 def _is_sp_guard(inst: Instruction) -> bool:
     """Is this exactly ``add sp, x21, x22`` (§4.2)?"""
     if inst.mnemonic != "add" or len(inst.operands) != 3:
@@ -421,9 +435,20 @@ class Verifier:
             elif idx == 21:
                 yield "write to x21 (sandbox base)"
             elif idx in (18, 23, 24):
-                if reg.bits != 64 or not _is_guard(inst, idx):
-                    yield (f"x{idx} modified by something other than the "
-                           f"guard: {inst}")
+                if reg.bits == 64 and _is_guard(inst, idx):
+                    continue
+                # The masked guard (§16): ``bic w18, wN, w25`` is
+                # tolerated when the very next instruction is the x18
+                # guard — nothing can execute in between, and even a
+                # computed jump landing on the add still produces
+                # x21 + uint32, a sandbox address.  Mirrors the x30
+                # mov-then-guard tolerance below.
+                if idx == 18 and _is_masked_index(inst):
+                    nxt = stream[i + 1] if i + 1 < len(stream) else None
+                    if nxt is not None and _is_guard(nxt, 18):
+                        continue
+                yield (f"x{idx} modified by something other than the "
+                       f"guard: {inst}")
             elif idx == 22:
                 if reg.bits != 32:
                     yield f"64-bit write to x22 breaks its invariant: {inst}"

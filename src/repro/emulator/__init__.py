@@ -19,9 +19,13 @@ from .machine import (
     Trap,
     UnknownInstructionTrap,
 )
+from .speculation import PatternHistoryTable, ReturnStack, SpeculativeEngine
 from .tlb import Tlb
 
 __all__ = [
+    "PatternHistoryTable",
+    "ReturnStack",
+    "SpeculativeEngine",
     "APPLE_M1",
     "GCP_T2A",
     "MACHINE_MODELS",

@@ -32,6 +32,7 @@ from ..arm64.operands import (
 )
 from ..arm64.registers import LR, Reg
 from ..engine import EngineConfig
+from ..errors import ConfigError
 from ..hooks import HookRegistry
 from ..memory.pages import MemoryFault, PagedMemory
 from . import costs
@@ -253,6 +254,17 @@ class Machine:
         self._step_probes: List[Callable] = []
         self._exec = _build_dispatch(self)
         self._sb = SuperblockEngine(self)
+        #: Bounded-speculation mode (DESIGN.md §16): when the engine
+        #: config carries a SpeculationConfig, :meth:`run` drives the
+        #: stepping interpreter through a SpeculativeEngine and
+        #: :attr:`speculation_log` records the transient footprint.
+        #: ``None`` (the default) leaves every execution path untouched.
+        self._spec = None
+        self.speculation_log = None
+        if config.speculation is not None:
+            from .speculation import SpeculativeEngine
+            self._spec = SpeculativeEngine(self, config.speculation)
+            self.speculation_log = self._spec.log
         memory.map_observers.append(self._on_map_change)
 
     # -- hooks ---------------------------------------------------------------
@@ -395,6 +407,17 @@ class Machine:
         """Run until a trap; raises OutOfFuel when the budget is exhausted."""
         if self.run_hooks:
             self.run_hooks(self, fuel)
+        if self._spec is not None:
+            # Speculation implies the plain stepping interpreter: the
+            # rollback contract cannot hold under per-step probes (they
+            # would observe transient charges) or block translation.
+            if self._step_probes or self.force_stepping:
+                raise ConfigError(
+                    "EngineConfig(speculation=...) cannot be combined with "
+                    "per-step probes or forced stepping (--probe, trace "
+                    "--sample, fault injection)")
+            self._spec.run(fuel)
+            return
         # Per-instruction observability (step probes, forced stepping)
         # requires the stepping interpreter; the hook check comes first
         # because a run hook may have just registered a probe.

@@ -56,6 +56,21 @@ class Tlb:
         entries.append(page)
         return False
 
+    def probe(self, address: int) -> bool:
+        """Non-mutating residency check (no fill, no LRU movement).
+
+        Used by the speculation leakage observer to ask "would this
+        address hit right now?" without perturbing the gauge state that
+        the architectural run depends on.
+        """
+        shift = self._shift
+        page = (address >> shift if shift is not None
+                else address // self.page_size)
+        mask = self._mask
+        entries = self._sets[page & mask if mask is not None
+                             else page % self.sets]
+        return page in entries
+
     def flush(self) -> None:
         self._sets = [[] for _ in range(self.sets)]
 

@@ -45,6 +45,7 @@ from .differential import (
     check_checkpoint,
     check_completeness,
     check_semantics,
+    check_speculation,
     rewrite_to_elf,
     run_elf_in_slot,
     soundness_probe,
@@ -68,6 +69,7 @@ __all__ = [
     "apply_mutations",
     "check_completeness",
     "check_semantics",
+    "check_speculation",
     "entry_from_words",
     "load_corpus",
     "policy_dict",

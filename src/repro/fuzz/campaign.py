@@ -12,7 +12,10 @@ Each iteration of the budget:
    rewrite levels against one shared native execution;
 3. corrupt the verified O1 and store-only rewrites with the mutation
    engine and feed each mutant to the **soundness** probe;
-4. (optional, ``checkpoint_points > 0``) interrupt the verified O1
+4. run the **speculation** oracle on the verified O1 rewrite under a
+   seeded predictor configuration — the bounded-speculation engine mode
+   must be architecturally invisible;
+5. (optional, ``checkpoint_points > 0``) interrupt the verified O1
    rewrite at seeded points and check the **checkpoint** oracle —
    serialize/restore/resume must be observationally invisible.
 
@@ -38,6 +41,7 @@ from .differential import (
     check_checkpoint,
     check_completeness,
     check_semantics,
+    check_speculation,
     mutant_elf,
     rewrite_to_elf,
     run_elf_in_slot,
@@ -65,12 +69,14 @@ class CampaignStats:
     runs: int = 0
     mutants: int = 0
     mutants_accepted: int = 0
+    spec_checks: int = 0
     findings: int = 0
 
     def summary(self) -> str:
         return (f"programs={self.programs} rewrites={self.rewrites} "
                 f"runs={self.runs} mutants={self.mutants} "
                 f"mutants-accepted={self.mutants_accepted} "
+                f"spec-checks={self.spec_checks} "
                 f"findings={self.findings}")
 
 
@@ -118,11 +124,13 @@ class FuzzCampaign:
             if findings:
                 self._report_program(iteration, program, findings)
             mutant_findings = self._mutants(iteration, bases)
+            spec_findings = self._speculation(bases)
             line = (f"iter {iteration:04d} frags="
                     f"{len(program.fragments)} "
                     f"est={program.instruction_estimate()} "
                     f"findings={len(findings)} "
-                    f"mutant-findings={len(mutant_findings)}")
+                    f"mutant-findings={len(mutant_findings)} "
+                    f"spec-findings={len(spec_findings)}")
             if self.checkpoint_points:
                 ckpt_findings = self._checkpoints(bases)
                 line += f" ckpt-findings={len(ckpt_findings)}"
@@ -130,6 +138,7 @@ class FuzzCampaign:
             self.log(line)
             self.findings.extend(findings)
             self.findings.extend(mutant_findings)
+            self.findings.extend(spec_findings)
         self.stats.findings = len(self.findings)
         self.log(f"done {self.stats.summary()}")
         return self.findings
@@ -208,6 +217,24 @@ class FuzzCampaign:
         mutated = apply_mutations(text, plan)
         return soundness_probe(mutant_elf(elf, mutated), policy,
                                budget=self.probe_budget)
+
+    def _speculation(self, bases: Dict[str, Tuple[ElfImage,
+                                                  VerifierPolicy]],
+                     ) -> List[Finding]:
+        """Speculation-transparency oracle on the verified O1 rewrite.
+
+        The predictor seed is drawn from the campaign RNG — drawn
+        unconditionally so the stream stays aligned even when the O1
+        rewrite failed (completeness already reported that).
+        """
+        seed = self.rng.randrange(1 << 16)
+        if "O1" not in bases:
+            return []
+        findings = check_speculation(bases["O1"][0], seed=seed)
+        self.stats.spec_checks += 1
+        for finding in findings:
+            self.log(finding.line())
+        return findings
 
     def _checkpoints(self, bases: Dict[str, Tuple[ElfImage,
                                                   VerifierPolicy]],

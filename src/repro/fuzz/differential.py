@@ -13,7 +13,11 @@
   resuming in a *fresh* runtime must be observationally invisible: exit
   code, stdout, instruction count, canonical registers, normalized memory
   digests, metrics, and the full normalized event trace all byte-identical
-  to the uninterrupted run (DESIGN.md §12).
+  to the uninterrupted run (DESIGN.md §12);
+* :func:`check_speculation` — enabling the bounded-speculation engine
+  mode must be architecturally invisible: registers, memory, retired
+  instructions, cycle totals, gauge counters, stdout, and event traces
+  all byte-identical to the non-speculative stepping run (DESIGN.md §16).
 
 All entry points are pure functions of their inputs; nothing here consults
 global randomness, so a fuzz campaign driven by one seed replays exactly.
@@ -40,6 +44,8 @@ from ..core import (
     O0,
     O1,
     O2,
+    O2_FENCE,
+    O2_MASK,
     O2_NO_LOADS,
     RewriteError,
     RewriteOptions,
@@ -49,6 +55,8 @@ from ..core import (
 )
 from ..elf import PF_X, ElfImage, ElfSegment, build_elf
 from ..emulator import BrkTrap, Machine, OutOfFuel
+from ..emulator.costs import APPLE_M1
+from ..engine import EngineConfig, SpeculationConfig
 from ..memory import GUARD_SIZE, PERM_RW, PERM_RX, PagedMemory, SandboxLayout
 from ..obs import MetricsHub, Tracer
 from ..robustness import ContainmentAuditor
@@ -61,6 +69,7 @@ __all__ = [
     "check_checkpoint",
     "check_completeness",
     "check_semantics",
+    "check_speculation",
     "assemble_to_elf",
     "mutant_elf",
     "rewrite_to_elf",
@@ -70,12 +79,15 @@ __all__ = [
 ]
 
 #: ``(label, rewrite options, matching verifier policy)`` for each level the
-#: oracles exercise — the four configurations of the paper's Figure 3.
+#: oracles exercise — the four configurations of the paper's Figure 3, plus
+#: the two Spectre-hardened ablations (DESIGN.md §16).
 LEVELS: Tuple[Tuple[str, RewriteOptions, VerifierPolicy], ...] = (
     ("O0", O0, VerifierPolicy()),
     ("O1", O1, VerifierPolicy()),
     ("O2", O2, VerifierPolicy()),
     ("O2-noloads", O2_NO_LOADS, VerifierPolicy(sandbox_loads=False)),
+    ("O2-fence", O2_FENCE, VerifierPolicy()),
+    ("O2-mask", O2_MASK, VerifierPolicy()),
 )
 
 #: Slot used for the machine-level (non-runtime) differential runs.
@@ -140,13 +152,11 @@ def mutant_elf(elf: ElfImage, text: bytes) -> ElfImage:
     return ElfImage(entry=elf.entry, segments=segments)
 
 
-def run_elf_in_slot(elf: ElfImage, fuel: int = RUN_FUEL,
-                    buf_size: int = 4096) -> Tuple[List[int], bytes]:
-    """Run an image bare-machine in a sandbox slot; return observable state.
+def slot_machine(elf: ElfImage, engine=None, model=None) -> Machine:
+    """Map ``elf`` into the differential slot; return a ready machine.
 
     Mirrors the runtime loader: segments land at ``SLOT.base + vaddr``, a
-    stack is mapped below ``usable_end``, x21 holds the slot base.  The
-    program must halt via ``brk #0``.  Returns ``(x0..x7, data buffer)``.
+    stack is mapped below ``usable_end``, x21 holds the slot base.
     """
     memory = PagedMemory()
     page = memory.page_size
@@ -161,10 +171,20 @@ def run_elf_in_slot(elf: ElfImage, fuel: int = RUN_FUEL,
     stack_top = SLOT.usable_end
     memory.map_region(stack_top - 0x8000, 0x8000, PERM_RW)
 
-    machine = Machine(memory)
+    machine = Machine(memory, model=model, engine=engine)
     machine.cpu.pc = SLOT.base + elf.entry
     machine.cpu.sp = stack_top
     machine.cpu.regs[21] = SLOT.base
+    return machine
+
+
+def run_elf_in_slot(elf: ElfImage, fuel: int = RUN_FUEL,
+                    buf_size: int = 4096) -> Tuple[List[int], bytes]:
+    """Run an image bare-machine in a sandbox slot; return observable state.
+
+    The program must halt via ``brk #0``.  Returns ``(x0..x7, data buffer)``.
+    """
+    machine = slot_machine(elf)
     try:
         machine.run(fuel=fuel)
     except BrkTrap:
@@ -174,7 +194,7 @@ def run_elf_in_slot(elf: ElfImage, fuel: int = RUN_FUEL,
 
     return (
         [machine.cpu.regs[i] for i in range(8)],
-        memory.read(SLOT.base + DATA_OFFSET, buf_size),
+        machine.memory.read(SLOT.base + DATA_OFFSET, buf_size),
     )
 
 
@@ -421,4 +441,110 @@ def check_checkpoint(elf: ElfImage, points: Tuple[int, ...]
                 detail = (f"trace length {len(reference['events'])} != "
                           f"{len(combined)}")
             findings.append(Finding("checkpoint", f"@{point}", detail))
+    return findings
+
+
+# -- oracle 5: speculation transparency ---------------------------------------
+
+
+def _speculation_observables(elf: ElfImage, speculation, model,
+                             fuel: int) -> dict:
+    """Every architectural observable of one bare-machine stepping run."""
+    machine = slot_machine(
+        elf, engine=EngineConfig(kind="stepping", speculation=speculation),
+        model=model)
+    try:
+        machine.run(fuel=fuel)
+    except BrkTrap:
+        pass
+    else:
+        raise OutOfFuel("program did not halt")
+    obs = {
+        "cpu": machine.cpu.snapshot(),
+        "exclusive": machine.cpu.exclusive_addr,
+        "buffer": machine.memory.read(SLOT.base + DATA_OFFSET, 4096),
+        "instret": machine.instret,
+        "cycles": machine.cycles,
+    }
+    for gauge in ("tlb", "l1", "l2"):
+        unit = getattr(machine, gauge)
+        obs[gauge] = (unit.hits, unit.misses) if unit is not None else None
+    return obs
+
+
+def _speculation_runtime_run(elf: ElfImage, engine: EngineConfig,
+                             budget: int, timeslice: int) -> dict:
+    """One observed runtime-level run (stdout, trace, metrics, state).
+
+    The metrics hub attaches event-only (no runtime): a per-step probe
+    would — correctly — be rejected in combination with speculation.
+    """
+    runtime = Runtime(model=None, timeslice=timeslice, engine=engine)
+    tracer = Tracer(record=True)
+    tracer.attach(runtime)
+    hub = MetricsHub().attach(tracer)
+    bases = track_slot_bases(runtime, tracer)
+    proc = runtime.spawn(elf)
+    halted = runtime.run_bounded(proc, budget)
+    return {
+        "halted": halted,
+        "stdout": runtime.stdout_of(proc),
+        "events": normalize_events(tracer.events, bases, pid_base=proc.pid),
+        "metrics": hub.state_dict(pid_base=proc.pid),
+        "state": _final_state(runtime, proc),
+    }
+
+
+def check_speculation(elf: ElfImage, seed: int = 0, fuel: int = RUN_FUEL,
+                      budget: int = CHECKPOINT_BUDGET, timeslice: int = 50,
+                      ) -> List[Finding]:
+    """Bounded speculation with rollback must be architecturally invisible.
+
+    Runs ``elf`` twice on the stepping engine — plain, and with
+    ``EngineConfig(speculation=...)`` under predictor seed ``seed`` — and
+    requires bit-identical observables at two levels:
+
+    * **bare machine**, uncosted and under the Apple-M1 cost model: the
+      full register file and flags, data buffer, retired instruction
+      count, cycle total, and the TLB/L1/L2 hit and miss counters (the
+      speculative engine probes the gauges for its observer but must
+      roll every transient mutation back);
+    * **runtime**: exit state, stdout, the metrics-hub state, and the
+      full normalized event trace.
+
+    Any divergence means transient state escaped a squash — a real
+    isolation bug, reported as a ``speculation`` finding.
+    """
+    findings: List[Finding] = []
+    spec = SpeculationConfig(seed=seed)
+    for label, model in (("bare", None), ("bare+model", APPLE_M1)):
+        try:
+            base = _speculation_observables(elf, None, model, fuel)
+        except OutOfFuel:
+            return [Finding("speculation", label,
+                            "baseline run did not halt")]
+        try:
+            speculated = _speculation_observables(elf, spec, model, fuel)
+        except OutOfFuel:
+            findings.append(Finding("speculation", label,
+                                    "speculative run did not halt"))
+            continue
+        for key, value in base.items():
+            if speculated[key] != value:
+                findings.append(Finding(
+                    "speculation", label,
+                    f"{key} diverged under speculation (seed={seed})"))
+                break
+
+    reference = _speculation_runtime_run(
+        elf, EngineConfig(kind="stepping"), budget, timeslice)
+    observed = _speculation_runtime_run(
+        elf, EngineConfig(kind="stepping", speculation=spec),
+        budget, timeslice)
+    for key, value in reference.items():
+        if observed[key] != value:
+            findings.append(Finding(
+                "speculation", "runtime",
+                f"{key} diverged under speculation (seed={seed})"))
+            break
     return findings

@@ -27,6 +27,12 @@ from .events import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsHub, merge_snapshots
 from .prometheus import prometheus_exposition, validate_exposition
+from .speculation import (
+    SpeculationLog,
+    SpeculationWindow,
+    TransientAccess,
+    differential_leakage,
+)
 from .profiler import (
     BUCKET_ORDER,
     GuardProfiler,
@@ -54,6 +60,10 @@ __all__ = [
     "merge_snapshots",
     "prometheus_exposition",
     "validate_exposition",
+    "SpeculationLog",
+    "SpeculationWindow",
+    "TransientAccess",
+    "differential_leakage",
     "BUCKET_ORDER",
     "GuardProfiler",
     "ProfileReport",

@@ -26,7 +26,7 @@ __all__ = ["GuardProfiler", "ProfileReport", "profile_workload"]
 
 #: Guard classes in the paper's presentation order (Table 3 / §4), then
 #: the non-guard buckets.
-BUCKET_ORDER = ("memory", "branch", "sp", "x30", "hoist",
+BUCKET_ORDER = ("memory", "branch", "sp", "x30", "hoist", "fence", "mask",
                 "app", "call", "host")
 
 

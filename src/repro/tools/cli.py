@@ -8,8 +8,16 @@ from typing import List, Optional
 
 from ..arm64.decoder import decode_word
 from ..arm64.parser import parse_assembly
-from ..core.options import O0, O1, O2, O2_NO_LOADS, RewriteOptions
-from ..engine import ENGINE_KINDS, EngineConfig
+from ..core.options import (
+    O0,
+    O1,
+    O2,
+    O2_FENCE,
+    O2_MASK,
+    O2_NO_LOADS,
+    RewriteOptions,
+)
+from ..engine import ENGINE_KINDS, EngineConfig, SpeculationConfig
 from ..errors import ReproError, RewriteError
 from ..core.verifier import VerifierPolicy, verify_elf
 from ..elf.format import read_elf, write_elf
@@ -19,7 +27,8 @@ from ..toolchain import compile_lfi, compile_native
 
 __all__ = ["main"]
 
-_LEVELS = {"O0": O0, "O1": O1, "O2": O2, "O2-noloads": O2_NO_LOADS}
+_LEVELS = {"O0": O0, "O1": O1, "O2": O2, "O2-noloads": O2_NO_LOADS,
+           "O2-fence": O2_FENCE, "O2-mask": O2_MASK}
 
 
 def _options_from(args) -> RewriteOptions:
@@ -31,11 +40,16 @@ def _options_from(args) -> RewriteOptions:
 
 def _engine_from(args) -> EngineConfig:
     """The :class:`EngineConfig` the shared ``--engine`` flags describe."""
+    speculation = None
+    if getattr(args, "speculation", False):
+        speculation = SpeculationConfig(seed=args.spec_seed,
+                                        window=args.spec_window)
     return EngineConfig(kind=args.engine_kind,
                         fuel=args.fuel,
                         block_cache_cap=args.block_cache_cap,
                         chaining=not args.no_chaining,
-                        batch_abi=not args.no_batch_abi)
+                        batch_abi=not args.no_batch_abi,
+                        speculation=speculation)
 
 
 def _cmd_rewrite(args) -> int:
@@ -580,6 +594,15 @@ def _shared_parents():
                              "returns to the dispatch loop)")
     engine.add_argument("--no-batch-abi", action="store_true",
                         help="reject RuntimeCall.BATCH with -ENOSYS")
+    engine.add_argument("--speculation", action="store_true",
+                        help="bounded-speculation emulator mode "
+                             "(DESIGN.md §16); incompatible with per-step "
+                             "probes (--probe, trace --sample)")
+    engine.add_argument("--spec-seed", type=int, default=0, metavar="N",
+                        help="branch predictor seed for --speculation")
+    engine.add_argument("--spec-window", type=int, default=24, metavar="N",
+                        help="max transient instructions per mispredict "
+                             "window for --speculation")
     return out, seed, opt, engine
 
 

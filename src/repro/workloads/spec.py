@@ -181,9 +181,9 @@ def _init_chain(nodes: int, base_offset: int, stride: int) -> str:
     shift = stride.bit_length() - 1
     base_mov = f"""
     movz x6, #{(base_offset >> 16) & 0xFFFF}, lsl #16
-    add x6, x25, x6
+    add x6, x20, x6
 """ if base_offset >= (1 << 16) else f"""
-    add x6, x25, #{base_offset}
+    add x6, x20, #{base_offset}
 """
     return f"""
     // init: pointer-chase ring in the upper half of the arena
@@ -207,13 +207,13 @@ def _init_table() -> str:
     return """
     // init: function-pointer table at arena+2048
     adr x4, kern_calls_fn_a
-    str x4, [x25, #2048]
+    str x4, [x20, #2048]
     adr x4, kern_calls_fn_b
-    str x4, [x25, #2056]
+    str x4, [x20, #2056]
     // init: byte lookup table at arena+4096
     mov x3, #0
 init_table_loop:
-    add x4, x25, #4096
+    add x4, x20, #4096
     strb w3, [x4, x3]
     add x3, x3, #1
     cmp x3, #256
@@ -240,8 +240,8 @@ def build_benchmark(name: str, target_instructions: int = 40_000) -> str:
 
     header = ".text\n.globl _start\n_start:\n"
     init = """
-    adrp x25, arena
-    add x25, x25, :lo12:arena
+    adrp x20, arena
+    add x20, x20, :lo12:arena
 """
     if any(k.needs_chain for k in used):
         init += _init_chain(_CHAIN_NODES, chain_base, chain_stride)
@@ -284,13 +284,13 @@ outer_loop:
         if kernel.name == "chase":
             if chain_base >= (1 << 16):
                 body += (f"    movz x0, #{(chain_base >> 16) & 0xFFFF},"
-                         f" lsl #16\n    add x0, x25, x0\n")
+                         f" lsl #16\n    add x0, x20, x0\n")
             else:
-                body += f"    add x0, x25, #{chain_base}\n"
+                body += f"    add x0, x20, #{chain_base}\n"
         elif kernel.name in ("stream_int", "stream_fp", "simd"):
-            body += f"    add x0, x25, #{_STREAM_OFFSET}\n"
+            body += f"    add x0, x20, #{_STREAM_OFFSET}\n"
         else:
-            body += "    mov x0, x25\n"
+            body += "    mov x0, x20\n"
         body += f"""    movz x1, #{iters & 0xFFFF}
 """
         if iters > 0xFFFF:

@@ -1,0 +1,56 @@
+"""Committed benchmark snapshots must match their registered schemas.
+
+Every ``BENCH_PR*.json`` at the repository root is a committed CI
+artifact; a regeneration that silently drops a section used to pass
+unnoticed.  ``benchmarks.conftest.check_snapshot`` turns that into a
+one-line diagnostic; this tier-1 suite runs it over every committed
+snapshot (absent files are skipped — not every PR commits one) and over
+any stray snapshot that has no schema registered at all.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT))
+
+from benchmarks.conftest import SNAPSHOT_SCHEMAS, check_snapshot  # noqa: E402
+
+
+@pytest.mark.parametrize("name", sorted(SNAPSHOT_SCHEMAS))
+def test_committed_snapshot_matches_schema(name):
+    path = ROOT / name
+    if not path.exists():
+        pytest.skip(f"{name} not committed")
+    diagnostic = check_snapshot(path)
+    assert diagnostic is None, diagnostic
+
+
+def test_every_committed_snapshot_has_a_schema():
+    unregistered = sorted(
+        p.name for p in ROOT.glob("BENCH_PR*.json")
+        if p.name not in SNAPSHOT_SCHEMAS)
+    assert unregistered == [], \
+        f"snapshots without a registered schema: {unregistered}"
+
+
+def test_check_snapshot_diagnoses_missing_keys(tmp_path):
+    name = "BENCH_PR4.json"
+    good = json.loads((ROOT / name).read_text()) if (ROOT / name).exists() \
+        else {k: None for k in SNAPSHOT_SCHEMAS[name]}
+    good.pop("workloads", None)
+    broken = tmp_path / name
+    broken.write_text(json.dumps(good))
+    diagnostic = check_snapshot(broken)
+    assert diagnostic == f"{name}: missing required keys ['workloads']"
+
+    broken.write_text("not json")
+    assert "unreadable snapshot" in check_snapshot(broken)
+
+    broken.write_text("[]")
+    assert "expected a JSON object" in check_snapshot(broken)
+
+    assert "no schema registered" in check_snapshot(tmp_path / "BENCH_PR99.json")

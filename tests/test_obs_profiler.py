@@ -121,7 +121,8 @@ class TestAttribution:
 
     def test_bucket_order_is_stable(self):
         assert BUCKET_ORDER == (
-            "memory", "branch", "sp", "x30", "hoist", "app", "call", "host"
+            "memory", "branch", "sp", "x30", "hoist", "fence", "mask",
+            "app", "call", "host"
         )
 
     def test_decompose_overhead_sums_exactly(self):
